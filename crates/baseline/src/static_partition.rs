@@ -1,0 +1,114 @@
+//! Static object partitioning: an oracle-style comparator.
+//!
+//! Objects are assigned to cores round-robin at registration time and never
+//! move. This isolates the value of CoreTime's *dynamic* machinery
+//! (event-counter monitoring, rebalancing, decay): on the uniform workload
+//! static partitioning performs like CoreTime, but on shifting workloads
+//! (Figure 4b) it cannot adapt.
+
+use std::collections::HashMap;
+
+use o2_runtime::{CoreId, ObjectDescriptor, ObjectId, OpContext, Placement, SchedPolicy};
+
+/// Round-robin static partitioning of registered objects across cores.
+#[derive(Debug, Clone)]
+pub struct StaticPartition {
+    cores: u32,
+    next: u32,
+    assignments: HashMap<ObjectId, CoreId>,
+}
+
+impl StaticPartition {
+    /// Creates a static partitioner for a machine with `cores` cores.
+    pub fn new(cores: u32) -> Self {
+        Self {
+            cores: cores.max(1),
+            next: 0,
+            assignments: HashMap::new(),
+        }
+    }
+
+    /// The core an object was assigned to, if registered.
+    pub fn assignment(&self, object: ObjectId) -> Option<CoreId> {
+        self.assignments.get(&object).copied()
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether no objects are registered.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+}
+
+impl SchedPolicy for StaticPartition {
+    fn name(&self) -> &'static str {
+        "static-partition"
+    }
+
+    fn register_object(&mut self, object: &ObjectDescriptor) {
+        let core = self.next % self.cores;
+        self.next += 1;
+        self.assignments.insert(object.id, core);
+    }
+
+    fn on_ct_start(&mut self, ctx: &OpContext<'_>) -> Placement {
+        match self.assignments.get(&ctx.object) {
+            Some(&core) if core != ctx.core => Placement::On(core),
+            _ => Placement::Local,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2_runtime::{Engine, OpBuilder, RepeatBehaviour, RuntimeConfig};
+    use o2_sim::{Machine, MachineConfig};
+
+    #[test]
+    fn registration_round_robins_across_cores() {
+        let mut p = StaticPartition::new(4);
+        for id in 0..8u64 {
+            p.register_object(&ObjectDescriptor::new(id, id * 0x1000, 64));
+        }
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.assignment(0), Some(0));
+        assert_eq!(p.assignment(1), Some(1));
+        assert_eq!(p.assignment(4), Some(0));
+        assert_eq!(p.assignment(7), Some(3));
+        assert_eq!(p.assignment(99), None);
+    }
+
+    #[test]
+    fn operations_migrate_to_the_assigned_core() {
+        let machine = Machine::new(MachineConfig::quad4());
+        let mut p = StaticPartition::new(4);
+        p.register_object(&ObjectDescriptor::new(0xA, 0xA, 64)); // -> core 0
+        p.register_object(&ObjectDescriptor::new(0xB, 0xB, 64)); // -> core 1
+        let mut engine = Engine::new(machine, Box::new(p), RuntimeConfig::default());
+        let op = OpBuilder::annotated(0xB).compute(100).finish();
+        engine.spawn(3, Box::new(RepeatBehaviour::new(op, Some(5))));
+        engine.run_until_cycles(10_000_000);
+        // Every operation executes on the assigned core; with the default
+        // runtime the thread stays there after the first migration.
+        assert_eq!(engine.machine().counters(1).operations_completed, 5);
+        assert!(engine.thread_stats(0).migrations >= 1);
+        assert_eq!(engine.machine().counters(3).operations_completed, 0);
+    }
+
+    #[test]
+    fn unregistered_objects_run_locally() {
+        let machine = Machine::new(MachineConfig::quad4());
+        let p = StaticPartition::new(4);
+        let mut engine = Engine::new(machine, Box::new(p), RuntimeConfig::default());
+        let op = OpBuilder::annotated(0xDEAD).compute(100).finish();
+        engine.spawn(2, Box::new(RepeatBehaviour::new(op, Some(5))));
+        engine.run_until_cycles(1_000_000);
+        assert_eq!(engine.machine().counters(2).operations_completed, 5);
+        assert_eq!(engine.thread_stats(0).migrations, 0);
+    }
+}

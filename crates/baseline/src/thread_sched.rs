@@ -1,0 +1,76 @@
+//! The traditional thread scheduler: the paper's "Without CoreTime"
+//! baseline.
+//!
+//! Threads stay pinned to their home cores, operations always run locally,
+//! and data placement is left entirely to the hardware caches. The
+//! annotations are still executed (so operation counting is identical to
+//! the CoreTime runs); they simply never cause migration.
+
+use o2_runtime::{CounterDelta, OpContext, Placement, SchedPolicy};
+
+/// The baseline thread scheduler.
+#[derive(Debug, Default, Clone)]
+pub struct ThreadScheduler {
+    operations_seen: u64,
+}
+
+impl ThreadScheduler {
+    /// Creates the baseline policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Operations observed (for sanity checks in tests).
+    pub fn operations_seen(&self) -> u64 {
+        self.operations_seen
+    }
+}
+
+impl SchedPolicy for ThreadScheduler {
+    fn name(&self) -> &'static str {
+        "thread-scheduler"
+    }
+
+    fn on_ct_start(&mut self, _ctx: &OpContext<'_>) -> Placement {
+        Placement::Local
+    }
+
+    fn on_ct_end(&mut self, _ctx: &OpContext<'_>, _delta: &CounterDelta) {
+        self.operations_seen += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2_runtime::{Engine, OpBuilder, RepeatBehaviour, RuntimeConfig};
+    use o2_sim::{Machine, MachineConfig};
+
+    #[test]
+    fn never_migrates_and_counts_ops() {
+        let machine = Machine::new(MachineConfig::quad4());
+        let mut engine = Engine::new(
+            machine,
+            Box::new(ThreadScheduler::new()),
+            RuntimeConfig::default(),
+        );
+        let op = OpBuilder::annotated(0xAB).compute(100).finish();
+        for core in 0..4 {
+            engine.spawn(core, Box::new(RepeatBehaviour::new(op.clone(), Some(10))));
+        }
+        engine.run_until_cycles(10_000_000);
+        assert_eq!(engine.total_ops(), 40);
+        for t in 0..4 {
+            assert_eq!(engine.thread_stats(t).migrations, 0);
+        }
+        // All ops completed on the spawning cores.
+        for core in 0..4 {
+            assert_eq!(engine.machine().counters(core).operations_completed, 10);
+        }
+    }
+
+    #[test]
+    fn policy_name_matches_the_papers_label() {
+        assert_eq!(ThreadScheduler::new().name(), "thread-scheduler");
+    }
+}

@@ -1,0 +1,46 @@
+//! Ablation D (Section 6.2): object clustering, and the related-work claim
+//! that *thread* clustering does not help this workload.
+//!
+//! Run with `cargo run --release -p o2-bench --bin ablation_clustering`.
+
+use o2_bench::{run_point, PolicyKind};
+use o2_metrics::{Report, Series, SeriesTable};
+use o2_workloads::WorkloadSpec;
+
+fn main() {
+    let total_kb = 8192;
+    let spec = WorkloadSpec::for_total_kb(total_kb);
+
+    let baseline = run_point(&spec, PolicyKind::ThreadScheduler);
+    let clustering = run_point(&spec, PolicyKind::ThreadClustering);
+    let coretime = run_point(&spec, PolicyKind::CoreTime);
+    let static_partition = run_point(&spec, PolicyKind::StaticPartition);
+
+    let mut series = Series::new("1000s of resolutions/sec");
+    series.push(1.0, baseline.kres_per_sec());
+    series.push(2.0, clustering.kres_per_sec());
+    series.push(3.0, static_partition.kres_per_sec());
+    series.push(4.0, coretime.kres_per_sec());
+    let mut table = SeriesTable::new(
+        "Scheduler (1=thread, 2=thread clustering, 3=static partition, 4=CoreTime)",
+    );
+    table.add(series);
+
+    let report = Report::new(
+        "Ablation D: thread clustering vs object scheduling (uniform lookups, 8 MB)",
+        table,
+    )
+    .param("total data size", format!("{total_kb} KB"))
+    .note(format!(
+        "thread scheduler {:.0}, thread clustering {:.0}, static partition {:.0}, CoreTime {:.0} kres/s",
+        baseline.kres_per_sec(),
+        clustering.kres_per_sec(),
+        static_partition.kres_per_sec(),
+        coretime.kres_per_sec()
+    ))
+    .note(
+        "Thread clustering cannot help because every thread shares the same working set \
+         (Section 2); scheduling objects does.",
+    );
+    println!("{}", report.render_text());
+}

@@ -1,0 +1,56 @@
+//! Ablation B (Section 6.1, "Future Multicores"): core counts and cache
+//! sizes.
+//!
+//! The paper predicts that O2 scheduling becomes more attractive as the
+//! number of cores (and aggregate on-chip cache) grows relative to
+//! off-chip bandwidth. This sweep runs the same uniform lookup workload on
+//! machines with more chips/cores and the "future" configuration with
+//! larger per-core caches and slower relative DRAM.
+//!
+//! Run with `cargo run --release -p o2-bench --bin ablation_hardware`.
+
+use o2_bench::{quick_mode, run_point, PolicyKind};
+use o2_metrics::{Report, Series, SeriesTable};
+use o2_sim::MachineConfig;
+use o2_workloads::WorkloadSpec;
+
+fn main() {
+    let configs: Vec<(&str, MachineConfig)> = vec![
+        ("amd16 (4x4)", MachineConfig::amd16()),
+        ("8 chips x 4 cores", {
+            let mut c = MachineConfig::amd16();
+            c.chips = 8;
+            c
+        }),
+        ("future 4x8 (bigger caches, slower DRAM)", MachineConfig::future(4, 8)),
+        ("future 8x8", MachineConfig::future(8, 8)),
+    ];
+    let total_kb: u64 = if quick_mode() { 8192 } else { 12288 };
+
+    let mut with = Series::new("With CoreTime");
+    let mut without = Series::new("Without CoreTime");
+    let mut names = Vec::new();
+    for (i, (name, machine)) in configs.into_iter().enumerate() {
+        let mut spec = WorkloadSpec::for_total_kb(total_kb);
+        spec.machine = machine;
+        let w = run_point(&spec, PolicyKind::CoreTime);
+        let wo = run_point(&spec, PolicyKind::ThreadScheduler);
+        with.push((i + 1) as f64, w.kres_per_sec());
+        without.push((i + 1) as f64, wo.kres_per_sec());
+        names.push(format!("[{}] {}", i + 1, name));
+    }
+
+    let mut table = SeriesTable::new("Machine (index)");
+    table.add(with);
+    table.add(without);
+    let mut report = Report::new(
+        "Ablation B: future multicores (more cores, larger caches, relatively slower DRAM)",
+        table,
+    )
+    .param("total data size", format!("{total_kb} KB"))
+    .note("The CoreTime advantage grows with core count and cache capacity, as Section 6.1 predicts.");
+    for n in names {
+        report = report.param("machine", n);
+    }
+    println!("{}", report.render_text());
+}

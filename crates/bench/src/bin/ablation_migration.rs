@@ -1,0 +1,48 @@
+//! Ablation A (Section 6.1): how the benefit of O2 scheduling depends on
+//! the cost of migrating a thread.
+//!
+//! The paper lists "the high cost to migrate a thread" among the AMD
+//! properties that limit CoreTime, and notes that hardware support such as
+//! active messages could reduce it. This sweep holds the workload at a
+//! point where CoreTime wins (8 MB of directories) and scales the
+//! migration cost from far cheaper to far more expensive than the measured
+//! 2000 cycles.
+//!
+//! Run with `cargo run --release -p o2-bench --bin ablation_migration`.
+
+use o2_bench::{quick_mode, run_point, PolicyKind};
+use o2_metrics::{Report, Series, SeriesTable};
+use o2_workloads::WorkloadSpec;
+
+fn main() {
+    let costs: Vec<u64> = if quick_mode() {
+        vec![500, 2000, 8000]
+    } else {
+        vec![250, 500, 1000, 2000, 4000, 8000, 16000, 32000]
+    };
+    let total_kb = 8192;
+
+    let baseline = run_point(&WorkloadSpec::for_total_kb(total_kb), PolicyKind::ThreadScheduler);
+
+    let mut with = Series::new("With CoreTime");
+    let mut without = Series::new("Without CoreTime");
+    for &cost in &costs {
+        let mut spec = WorkloadSpec::for_total_kb(total_kb);
+        spec.runtime = spec.runtime.with_migration_cost(cost);
+        let m = run_point(&spec, PolicyKind::CoreTime);
+        with.push(cost as f64, m.kres_per_sec());
+        without.push(cost as f64, baseline.kres_per_sec());
+    }
+
+    let mut table = SeriesTable::new("One-way migration cost (cycles)");
+    table.add(with);
+    table.add(without);
+    let report = Report::new(
+        "Ablation A: sensitivity to thread-migration cost (8 MB working set)",
+        table,
+    )
+    .param("total data size", format!("{total_kb} KB"))
+    .param("baseline", "thread scheduler, independent of migration cost")
+    .note("Cheaper migration widens CoreTime's advantage; expensive migration erodes it, as Section 6.1 argues.");
+    println!("{}", report.render_text());
+}

@@ -1,0 +1,71 @@
+//! Diagnostic harness: prints detailed per-core and policy statistics for
+//! a single Figure-4 point. Useful when calibrating the simulator.
+//!
+//! `cargo run --release -p o2-bench --bin diag -- [total_kb] [coretime|baseline]`
+
+use o2_bench::PolicyKind;
+use o2_workloads::{Experiment, WorkloadSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let total_kb: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8192);
+    let policy = match args.get(2).map(|s| s.as_str()) {
+        Some("baseline") => PolicyKind::ThreadScheduler,
+        _ => PolicyKind::CoreTime,
+    };
+    let spec = WorkloadSpec::for_total_kb(total_kb);
+    let boxed = policy.build(&spec);
+    let mut exp = Experiment::build(spec.clone(), boxed);
+
+    let m = exp.run();
+    let engine = exp.engine();
+    let machine = engine.machine();
+    println!("policy            : {}", m.policy);
+    println!("dirs              : {}", spec.n_dirs);
+    println!("total KB          : {:.0}", m.total_kb());
+    println!("window ops        : {}", m.window.ops);
+    println!("window cycles     : {}", m.window.cycles());
+    println!("kres/s            : {:.1}", m.kres_per_sec());
+    println!("cycles/op         : {:.0}", m.window.cycles_per_op());
+    println!("load imbalance    : {:.3}", m.window.load_imbalance());
+    println!("lock contention   : {}", m.lock_contention);
+    println!("migrations (in)   : {}", m.migrations);
+    println!("interconnect      : {:?}", m.interconnect);
+    let mut total_idle = 0.0;
+    for core in 0..spec.machine.total_cores() {
+        let c = machine.counters(core);
+        let idle_frac = c.idle_fraction();
+        total_idle += idle_frac;
+        if core < 4 || core == spec.machine.total_cores() - 1 {
+            println!(
+                "core {core:>2}: busy={:>12} idle={:>12} ({:>5.1}%) l1h={} l2h={} l3h={} rem={} dram={} ops={}",
+                c.busy_cycles,
+                c.idle_cycles,
+                idle_frac * 100.0,
+                c.l1_hits,
+                c.l2_hits,
+                c.l3_hits,
+                c.remote_cache_loads,
+                c.dram_loads,
+                c.operations_completed
+            );
+        }
+    }
+    println!(
+        "mean idle fraction: {:.1}%",
+        total_idle * 100.0 / spec.machine.total_cores() as f64
+    );
+    let thread_migrations: u64 = (0..spec.total_threads() as usize)
+        .map(|t| engine.thread_stats(t).migrations)
+        .sum();
+    let migration_cycles: u64 = (0..spec.total_threads() as usize)
+        .map(|t| engine.thread_stats(t).migration_cycles)
+        .sum();
+    let lock_wait: u64 = (0..spec.total_threads() as usize)
+        .map(|t| engine.thread_stats(t).lock_wait_cycles)
+        .sum();
+    println!("thread migrations : {thread_migrations}");
+    println!("migration cycles  : {migration_cycles}");
+    println!("lock wait cycles  : {lock_wait}");
+    println!("total ops (all)   : {}", engine.total_ops());
+}

@@ -1,0 +1,45 @@
+//! Figure 4(a): file-system throughput versus total data size, uniform
+//! directory popularity, with and without CoreTime.
+//!
+//! Run with `cargo run --release -p o2-bench --bin fig4a`
+//! (set `O2_QUICK=1` for a reduced sweep, `O2_CSV=1` for CSV output).
+
+use o2_bench::{fig4_sweep, print_table, sweep_sizes, PolicyKind};
+use o2_metrics::{crossover, mean_speedup_above, Report};
+use o2_workloads::WorkloadSpec;
+
+fn main() {
+    let sizes = fig4_sweep();
+    let policies = [PolicyKind::CoreTime, PolicyKind::ThreadScheduler];
+    let table = sweep_sizes(&sizes, &policies, WorkloadSpec::for_total_kb);
+
+    let with = &table.series[0];
+    let without = &table.series[1];
+    let l3_kb = WorkloadSpec::paper_default(1).machine.l3.size_bytes / 1024;
+    let speedup = mean_speedup_above(with, without, (2 * l3_kb) as f64);
+    let cross = crossover(with, without, 1.5);
+
+    let mut report = Report::new(
+        "Figure 4(a): uniform directory popularity (1000s of resolutions/sec)",
+        table,
+    )
+    .param("machine", "4 chips x 4 cores (AMD-like), 2 GHz")
+    .param("entries per directory", 1000)
+    .param("entry size", "32 bytes")
+    .param("threads", "1 per core (16)")
+    .param("popularity", "uniform");
+    if let Some(s) = speedup {
+        report = report.note(format!(
+            "mean CoreTime speedup beyond one chip's L3 ({} KB): {:.2}x (paper: 2-3x)",
+            2 * l3_kb,
+            s
+        ));
+    }
+    if let Some(x) = cross {
+        report = report.note(format!(
+            "CoreTime pulls ahead (>=1.5x) from ~{x:.0} KB onwards (paper: just above 2 MB)"
+        ));
+    }
+    println!("{}", report.render_text());
+    print_table(&report.table);
+}

@@ -1,0 +1,41 @@
+//! Figure 4(b): file-system throughput versus total data size when the set
+//! of accessed directories oscillates between all of them and a sixteenth
+//! of them. CoreTime must rebalance objects to follow the shifting working
+//! set.
+//!
+//! Run with `cargo run --release -p o2-bench --bin fig4b`.
+
+use o2_bench::{fig4_sweep, print_table, sweep_sizes, PolicyKind};
+use o2_metrics::{mean_speedup_above, Report};
+use o2_workloads::WorkloadSpec;
+
+fn main() {
+    let sizes = fig4_sweep();
+    let policies = [PolicyKind::CoreTime, PolicyKind::ThreadScheduler];
+    let table = sweep_sizes(&sizes, &policies, |kb| {
+        WorkloadSpec::for_total_kb(kb).oscillating()
+    });
+
+    let with = &table.series[0];
+    let without = &table.series[1];
+    let speedup = mean_speedup_above(with, without, 2048.0);
+
+    let mut report = Report::new(
+        "Figure 4(b): oscillating directory popularity (1000s of resolutions/sec)",
+        table,
+    )
+    .param("machine", "4 chips x 4 cores (AMD-like), 2 GHz")
+    .param("entries per directory", 1000)
+    .param(
+        "popularity",
+        "active set oscillates between all directories and 1/16 of them",
+    )
+    .param("threads", "1 per core (16)");
+    if let Some(s) = speedup {
+        report = report.note(format!(
+            "mean CoreTime speedup beyond 2 MB: {s:.2}x (paper: more than 2x for most sizes)"
+        ));
+    }
+    println!("{}", report.render_text());
+    print_table(&report.table);
+}

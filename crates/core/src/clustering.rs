@@ -1,0 +1,145 @@
+//! Object clustering (Section 6.2).
+//!
+//! "It is likely that some workloads would benefit from object clustering:
+//! if one thread or operation uses two objects simultaneously then it might
+//! be best to place both objects in the same cache, if they fit."
+//!
+//! The tracker observes the sequence of objects each thread operates on and
+//! counts co-accesses (consecutive operations by the same thread on
+//! different objects). Pairs whose count crosses a threshold are considered
+//! clustered, and the placement logic prefers putting a new object on the
+//! core that already holds one of its cluster partners.
+
+use std::collections::HashMap;
+
+use o2_runtime::{ObjectId, ThreadId};
+
+/// Tracks which objects are used together.
+#[derive(Debug, Default)]
+pub struct CoAccessTracker {
+    /// Last object each thread operated on.
+    last_by_thread: HashMap<ThreadId, ObjectId>,
+    /// Co-access counts per unordered object pair.
+    pair_counts: HashMap<(ObjectId, ObjectId), u64>,
+}
+
+impl CoAccessTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `thread` started an operation on `object`.
+    pub fn record(&mut self, thread: ThreadId, object: ObjectId) {
+        if let Some(&prev) = self.last_by_thread.get(&thread) {
+            if prev != object {
+                let key = if prev < object {
+                    (prev, object)
+                } else {
+                    (object, prev)
+                };
+                *self.pair_counts.entry(key).or_insert(0) += 1;
+            }
+        }
+        self.last_by_thread.insert(thread, object);
+    }
+
+    /// Co-access count of a pair.
+    pub fn pair_count(&self, a: ObjectId, b: ObjectId) -> u64 {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.pair_counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Objects co-accessed with `object` at least `threshold` times,
+    /// strongest partnership first.
+    pub fn partners(&self, object: ObjectId, threshold: u64) -> Vec<ObjectId> {
+        let mut partners: Vec<(ObjectId, u64)> = self
+            .pair_counts
+            .iter()
+            .filter(|((a, b), &count)| count >= threshold && (*a == object || *b == object))
+            .map(|((a, b), &count)| (if *a == object { *b } else { *a }, count))
+            .collect();
+        partners.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        partners.into_iter().map(|(o, _)| o).collect()
+    }
+
+    /// Number of distinct pairs observed.
+    pub fn pairs_observed(&self) -> usize {
+        self.pair_counts.len()
+    }
+
+    /// Ages the counts (halving them), so stale partnerships fade. Called
+    /// once per epoch.
+    pub fn decay(&mut self) {
+        self.pair_counts.retain(|_, c| {
+            *c /= 2;
+            *c > 0
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_ops_by_one_thread_form_pairs() {
+        let mut t = CoAccessTracker::new();
+        t.record(0, 10);
+        t.record(0, 20);
+        t.record(0, 10);
+        t.record(0, 20);
+        assert_eq!(t.pair_count(10, 20), 3);
+        assert_eq!(t.pair_count(20, 10), 3);
+        assert_eq!(t.pairs_observed(), 1);
+    }
+
+    #[test]
+    fn repeated_ops_on_the_same_object_do_not_pair() {
+        let mut t = CoAccessTracker::new();
+        t.record(0, 10);
+        t.record(0, 10);
+        t.record(0, 10);
+        assert_eq!(t.pairs_observed(), 0);
+    }
+
+    #[test]
+    fn different_threads_do_not_pair_with_each_other() {
+        let mut t = CoAccessTracker::new();
+        t.record(0, 10);
+        t.record(1, 20);
+        assert_eq!(t.pair_count(10, 20), 0);
+    }
+
+    #[test]
+    fn partners_respects_threshold_and_orders_by_strength() {
+        let mut t = CoAccessTracker::new();
+        for _ in 0..10 {
+            t.record(0, 1);
+            t.record(0, 2);
+        }
+        for _ in 0..3 {
+            t.record(1, 1);
+            t.record(1, 3);
+        }
+        assert_eq!(t.partners(1, 2), vec![2, 3]);
+        assert_eq!(t.partners(1, 6), vec![2]);
+        assert_eq!(t.partners(1, 100), Vec::<ObjectId>::new());
+        assert_eq!(t.partners(2, 2), vec![1]);
+    }
+
+    #[test]
+    fn decay_halves_and_prunes() {
+        let mut t = CoAccessTracker::new();
+        t.record(0, 1);
+        t.record(0, 2); // count 1
+        for _ in 0..4 {
+            t.record(1, 3);
+            t.record(1, 4);
+        }
+        t.decay();
+        assert_eq!(t.pair_count(1, 2), 0);
+        assert_eq!(t.pair_count(3, 4), 3);
+        assert_eq!(t.pairs_observed(), 1);
+    }
+}

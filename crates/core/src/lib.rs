@@ -1,0 +1,71 @@
+//! # o2-core — CoreTime, an O2 (objects-and-operations) scheduler
+//!
+//! This crate is the primary contribution of the reproduced paper,
+//! *"Reinventing Scheduling for Multicore Systems"* (HotOS 2009): a
+//! scheduler that assigns **data objects to on-chip caches** and migrates
+//! **operations** (annotated regions of a thread) to the core that caches
+//! the object they manipulate, instead of assigning threads to cores and
+//! letting the hardware place data implicitly.
+//!
+//! The pieces map to the paper as follows:
+//!
+//! | Paper (Section 4)              | Module |
+//! |--------------------------------|--------|
+//! | `ct_start`/`ct_end` lookup     | [`policy`] (`O2Policy::on_ct_start`) + [`table`] |
+//! | greedy first-fit cache packing | [`packing`] |
+//! | event-counter monitoring       | [`monitor`] + [`object`] |
+//! | idle/DRAM/L2-load rebalancing  | [`rebalance`] |
+//! | pathology detection            | [`pathology`] |
+//! | §6.2 read-only replication     | [`replication`] |
+//! | §6.2 object clustering         | [`clustering`] |
+//! | §6.2 frequency-based placement | [`replacement`] |
+//!
+//! The scheduler is expressed as an [`o2_runtime::SchedPolicy`], so it can
+//! be swapped against the baselines in `o2-baseline` without touching the
+//! workload, exactly as the paper's evaluation compares "With CoreTime"
+//! and "Without CoreTime".
+//!
+//! ## Quick start
+//!
+//! ```
+//! use o2_core::CoreTime;
+//! use o2_runtime::{Engine, ObjectDescriptor, OpBuilder, RepeatBehaviour, RuntimeConfig};
+//! use o2_sim::{Machine, MachineConfig};
+//!
+//! let machine_cfg = MachineConfig::quad4();
+//! let mut machine = Machine::new(machine_cfg.clone());
+//! let data = machine.memory_mut().alloc(128 * 1024, 0);
+//!
+//! let mut engine = Engine::new(machine, CoreTime::policy(&machine_cfg), RuntimeConfig::default());
+//! engine.register_object(ObjectDescriptor::new(data.addr, data.addr, data.size));
+//!
+//! // A thread that repeatedly scans the object inside ct_start/ct_end.
+//! let op = OpBuilder::annotated(data.addr).read(data.addr, data.size).finish();
+//! engine.spawn(0, Box::new(RepeatBehaviour::new(op, Some(20))));
+//! engine.run_until_cycles(50_000_000);
+//! assert_eq!(engine.total_ops(), 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod clustering;
+pub mod config;
+pub mod monitor;
+pub mod object;
+pub mod packing;
+pub mod pathology;
+pub mod policy;
+pub mod rebalance;
+pub mod replacement;
+pub mod replication;
+pub mod table;
+
+pub use builder::CoreTime;
+pub use config::CoreTimeConfig;
+pub use monitor::MonitorVerdict;
+pub use object::{ObjectInfo, ObjectRegistry};
+pub use packing::{pack, place_balanced, place_most_free, place_one, PackItem, Packing};
+pub use policy::{O2Policy, O2Stats};
+pub use table::AssignmentTable;

@@ -1,0 +1,95 @@
+//! Runtime monitoring decisions.
+//!
+//! "For each object, CoreTime counts the number of cache misses that occur
+//! between a pair of CoreTime annotations and assumes the misses are caused
+//! by fetching the object. [...] When there are many cache misses while
+//! manipulating an object, CoreTime will assign the object to a cache [...]
+//! otherwise, CoreTime will do nothing and the shared-memory hardware will
+//! manage the object." (Section 4)
+//!
+//! The per-object miss statistics live in [`crate::object::ObjectRegistry`];
+//! this module holds the decision logic that turns those statistics into an
+//! assignment decision.
+
+use crate::config::CoreTimeConfig;
+use crate::object::ObjectInfo;
+
+/// What the monitor wants to do with an object after an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorVerdict {
+    /// Leave the object to the shared-memory hardware.
+    LeaveToHardware,
+    /// The object is expensive to fetch: assign it to a cache.
+    Assign,
+    /// The object is already assigned; keep it where it is.
+    KeepAssigned,
+}
+
+/// Decides whether an object should be assigned to a cache.
+///
+/// The criteria follow Section 4: the object must have been observed for a
+/// minimum number of operations, its smoothed miss rate must exceed the
+/// threshold, and the expected per-operation fetch cost must exceed the
+/// migration cost (otherwise migrating the operation cannot pay off).
+pub fn verdict(cfg: &CoreTimeConfig, info: &ObjectInfo, already_assigned: bool) -> MonitorVerdict {
+    if already_assigned {
+        return MonitorVerdict::KeepAssigned;
+    }
+    if info.ops_total < cfg.min_ops_before_assign {
+        return MonitorVerdict::LeaveToHardware;
+    }
+    if cfg.migration_is_beneficial(info.ewma_misses_per_op) {
+        MonitorVerdict::Assign
+    } else {
+        MonitorVerdict::LeaveToHardware
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectRegistry;
+
+    fn info_with(misses_per_op: u64, ops: u64) -> ObjectInfo {
+        let mut reg = ObjectRegistry::new(64);
+        for _ in 0..ops {
+            reg.record_op(1, misses_per_op, 1.0);
+        }
+        reg.get(1).unwrap().clone()
+    }
+
+    #[test]
+    fn cheap_objects_stay_with_hardware() {
+        let cfg = CoreTimeConfig::default();
+        let info = info_with(2, 10);
+        assert_eq!(verdict(&cfg, &info, false), MonitorVerdict::LeaveToHardware);
+    }
+
+    #[test]
+    fn expensive_objects_get_assigned_after_enough_ops() {
+        let cfg = CoreTimeConfig::default();
+        let warm = info_with(300, 1);
+        assert_eq!(
+            verdict(&cfg, &warm, false),
+            MonitorVerdict::LeaveToHardware,
+            "one operation is not enough history"
+        );
+        let seasoned = info_with(300, 5);
+        assert_eq!(verdict(&cfg, &seasoned, false), MonitorVerdict::Assign);
+    }
+
+    #[test]
+    fn assigned_objects_are_kept() {
+        let cfg = CoreTimeConfig::default();
+        let info = info_with(300, 5);
+        assert_eq!(verdict(&cfg, &info, true), MonitorVerdict::KeepAssigned);
+    }
+
+    #[test]
+    fn marginal_objects_fail_the_cost_benefit_test() {
+        let cfg = CoreTimeConfig::default();
+        // 10 misses/op * 120 cycles = 1200 < 2000-cycle migration.
+        let info = info_with(10, 10);
+        assert_eq!(verdict(&cfg, &info, false), MonitorVerdict::LeaveToHardware);
+    }
+}

@@ -1,0 +1,260 @@
+//! The object registry: everything CoreTime knows about each schedulable
+//! object.
+//!
+//! The paper's `ct_start` identifies an object by address; sizes come from
+//! registration (or are estimated from observed misses) and per-object
+//! fetch costs come from the event-counter monitoring.
+
+use std::collections::HashMap;
+
+use o2_runtime::{ObjectDescriptor, ObjectId};
+
+/// Per-object bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ObjectInfo {
+    /// Registration-time description (address range, hints). Objects that
+    /// were never registered get a synthesized descriptor.
+    pub desc: ObjectDescriptor,
+    /// Smoothed private-cache misses per operation on this object.
+    pub ewma_misses_per_op: f64,
+    /// Total operations observed.
+    pub ops_total: u64,
+    /// Operations observed during the current epoch.
+    pub ops_this_epoch: u64,
+    /// Operations observed during the previous epoch (used by replication
+    /// and pathology heuristics).
+    pub ops_last_epoch: u64,
+    /// Epochs since the object was last operated on.
+    pub idle_epochs: u64,
+    /// Whether the size in `desc` was estimated from misses rather than
+    /// registered.
+    pub size_estimated: bool,
+}
+
+impl ObjectInfo {
+    fn new(desc: ObjectDescriptor, size_estimated: bool) -> Self {
+        Self {
+            desc,
+            ewma_misses_per_op: 0.0,
+            ops_total: 0,
+            ops_this_epoch: 0,
+            ops_last_epoch: 0,
+            idle_epochs: 0,
+            size_estimated,
+        }
+    }
+
+    /// Effective size in bytes used for packing decisions.
+    pub fn size(&self) -> u64 {
+        self.desc.size
+    }
+
+    /// Expected fetch cost per operation (misses times an assumed per-miss
+    /// cost), the "expense" the packing algorithm sorts by.
+    pub fn expense(&self, miss_cost: u64) -> f64 {
+        self.ewma_misses_per_op * miss_cost as f64
+    }
+}
+
+/// Registry of every object CoreTime has seen.
+#[derive(Debug, Default)]
+pub struct ObjectRegistry {
+    objects: HashMap<ObjectId, ObjectInfo>,
+    line_size: u64,
+}
+
+impl ObjectRegistry {
+    /// Creates an empty registry; `line_size` is used to estimate the size
+    /// of unregistered objects from their miss counts.
+    pub fn new(line_size: u64) -> Self {
+        Self {
+            objects: HashMap::new(),
+            line_size: line_size.max(1),
+        }
+    }
+
+    /// Number of known objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Registers an object explicitly (from [`ObjectDescriptor`]).
+    pub fn register(&mut self, desc: ObjectDescriptor) {
+        self.objects
+            .entry(desc.id)
+            .and_modify(|info| {
+                info.desc = desc;
+                info.size_estimated = false;
+            })
+            .or_insert_with(|| ObjectInfo::new(desc, false));
+    }
+
+    /// Looks up an object.
+    pub fn get(&self, id: ObjectId) -> Option<&ObjectInfo> {
+        self.objects.get(&id)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, id: ObjectId) -> Option<&mut ObjectInfo> {
+        self.objects.get_mut(&id)
+    }
+
+    /// Records one completed operation on an object, updating its smoothed
+    /// miss rate, and returns a reference to the updated info.
+    ///
+    /// Unknown objects are auto-registered (the paper: "`ct_start`
+    /// automatically adds an object to the table if the object is
+    /// expensive to fetch") with a size estimated from the observed misses.
+    pub fn record_op(&mut self, id: ObjectId, misses: u64, alpha: f64) -> &ObjectInfo {
+        let line_size = self.line_size;
+        let info = self.objects.entry(id).or_insert_with(|| {
+            let mut desc = ObjectDescriptor::new(id, id, misses.max(1) * line_size);
+            desc.read_mostly = false;
+            ObjectInfo::new(desc, true)
+        });
+        if info.size_estimated {
+            // Refine the size estimate towards the largest observed
+            // per-operation footprint.
+            info.desc.size = info.desc.size.max(misses.max(1) * line_size);
+        }
+        if info.ops_total == 0 {
+            info.ewma_misses_per_op = misses as f64;
+        } else {
+            info.ewma_misses_per_op =
+                alpha * misses as f64 + (1.0 - alpha) * info.ewma_misses_per_op;
+        }
+        info.ops_total += 1;
+        info.ops_this_epoch += 1;
+        info.idle_epochs = 0;
+        info
+    }
+
+    /// Rolls per-epoch statistics: `ops_this_epoch` moves to
+    /// `ops_last_epoch`, idle objects age.
+    pub fn roll_epoch(&mut self) {
+        for info in self.objects.values_mut() {
+            if info.ops_this_epoch == 0 {
+                info.idle_epochs += 1;
+            }
+            info.ops_last_epoch = info.ops_this_epoch;
+            info.ops_this_epoch = 0;
+        }
+    }
+
+    /// Iterates over all objects.
+    pub fn iter(&self) -> impl Iterator<Item = (&ObjectId, &ObjectInfo)> {
+        self.objects.iter()
+    }
+
+    /// Objects that have been idle for at least `epochs` epochs.
+    pub fn idle_objects(&self, epochs: u64) -> Vec<ObjectId> {
+        self.objects
+            .iter()
+            .filter(|(_, info)| info.idle_epochs >= epochs)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// The `n` objects with the most operations last epoch.
+    pub fn hottest(&self, n: usize) -> Vec<ObjectId> {
+        let mut v: Vec<(&ObjectId, &ObjectInfo)> = self.objects.iter().collect();
+        v.sort_by(|a, b| b.1.ops_last_epoch.cmp(&a.1.ops_last_epoch).then(a.0.cmp(b.0)));
+        v.into_iter().take(n).map(|(id, _)| *id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_then_lookup() {
+        let mut reg = ObjectRegistry::new(64);
+        reg.register(ObjectDescriptor::new(0x1000, 0x1000, 32 * 1024));
+        assert_eq!(reg.len(), 1);
+        let info = reg.get(0x1000).unwrap();
+        assert_eq!(info.size(), 32 * 1024);
+        assert!(!info.size_estimated);
+        assert_eq!(info.ops_total, 0);
+    }
+
+    #[test]
+    fn record_op_updates_ewma() {
+        let mut reg = ObjectRegistry::new(64);
+        reg.register(ObjectDescriptor::new(1, 0x1000, 4096));
+        reg.record_op(1, 100, 0.5);
+        assert!((reg.get(1).unwrap().ewma_misses_per_op - 100.0).abs() < 1e-9);
+        reg.record_op(1, 0, 0.5);
+        assert!((reg.get(1).unwrap().ewma_misses_per_op - 50.0).abs() < 1e-9);
+        assert_eq!(reg.get(1).unwrap().ops_total, 2);
+    }
+
+    #[test]
+    fn unknown_objects_are_auto_registered_with_estimated_size() {
+        let mut reg = ObjectRegistry::new(64);
+        reg.record_op(0x9000, 500, 0.3);
+        let info = reg.get(0x9000).unwrap();
+        assert!(info.size_estimated);
+        assert_eq!(info.size(), 500 * 64);
+        // A later, larger footprint grows the estimate.
+        reg.record_op(0x9000, 800, 0.3);
+        assert_eq!(reg.get(0x9000).unwrap().size(), 800 * 64);
+    }
+
+    #[test]
+    fn explicit_registration_overrides_estimates() {
+        let mut reg = ObjectRegistry::new(64);
+        reg.record_op(0x9000, 10, 0.3);
+        reg.register(ObjectDescriptor::new(0x9000, 0x9000, 1234));
+        let info = reg.get(0x9000).unwrap();
+        assert_eq!(info.size(), 1234);
+        assert!(!info.size_estimated);
+        // Operation history is preserved.
+        assert_eq!(info.ops_total, 1);
+    }
+
+    #[test]
+    fn epoch_roll_tracks_idleness_and_last_epoch_ops() {
+        let mut reg = ObjectRegistry::new(64);
+        reg.register(ObjectDescriptor::new(1, 0, 64));
+        reg.register(ObjectDescriptor::new(2, 64, 64));
+        reg.record_op(1, 5, 0.3);
+        reg.roll_epoch();
+        assert_eq!(reg.get(1).unwrap().ops_last_epoch, 1);
+        assert_eq!(reg.get(1).unwrap().idle_epochs, 0);
+        assert_eq!(reg.get(2).unwrap().idle_epochs, 1);
+        reg.roll_epoch();
+        reg.roll_epoch();
+        assert_eq!(reg.idle_objects(3), vec![2]);
+        assert_eq!(reg.idle_objects(4), Vec::<ObjectId>::new());
+    }
+
+    #[test]
+    fn hottest_orders_by_last_epoch_ops() {
+        let mut reg = ObjectRegistry::new(64);
+        for id in 1..=3u64 {
+            reg.register(ObjectDescriptor::new(id, id * 0x1000, 64));
+        }
+        for _ in 0..5 {
+            reg.record_op(2, 1, 0.3);
+        }
+        for _ in 0..2 {
+            reg.record_op(3, 1, 0.3);
+        }
+        reg.roll_epoch();
+        assert_eq!(reg.hottest(2), vec![2, 3]);
+    }
+
+    #[test]
+    fn expense_scales_with_miss_cost() {
+        let mut reg = ObjectRegistry::new(64);
+        reg.record_op(7, 10, 1.0);
+        let info = reg.get(7).unwrap();
+        assert!((info.expense(100) - 1000.0).abs() < 1e-9);
+    }
+}

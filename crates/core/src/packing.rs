@@ -1,0 +1,258 @@
+//! The greedy first-fit "cache packing" algorithm (Section 4).
+//!
+//! "CoreTime uses a greedy first fit cache packing algorithm to decide
+//! what core to assign an object to. [...] The cache packing algorithm
+//! works by assigning each object that is expensive to fetch to a cache
+//! with free space. The algorithm executes in Θ(n·log n) time, where n is
+//! the number of objects."
+//!
+//! Two forms are provided:
+//!
+//! * [`pack`] — the batch algorithm from the paper: sort objects by
+//!   decreasing expense and first-fit each into the per-core budgets
+//!   (dominated by the sort, hence Θ(n·log n));
+//! * [`place_one`] — the incremental form used online by the policy when
+//!   monitoring promotes a single object.
+
+use o2_runtime::{CoreId, ObjectId};
+
+use crate::table::AssignmentTable;
+
+/// An object to be packed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackItem {
+    /// The object.
+    pub object: ObjectId,
+    /// Its size in bytes.
+    pub size: u64,
+    /// Its expense (expected fetch cost per operation); more expensive
+    /// objects are packed first.
+    pub expense: f64,
+}
+
+/// The outcome of a batch packing run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Packing {
+    /// Object → core assignments produced.
+    pub placed: Vec<(ObjectId, CoreId)>,
+    /// Objects that did not fit in any core's remaining budget; these stay
+    /// under hardware management.
+    pub unplaced: Vec<ObjectId>,
+}
+
+impl Packing {
+    /// The core an object was packed onto, if any.
+    pub fn core_of(&self, object: ObjectId) -> Option<CoreId> {
+        self.placed
+            .iter()
+            .find(|(o, _)| *o == object)
+            .map(|(_, c)| *c)
+    }
+}
+
+/// Batch cache packing: sorts by decreasing expense (ties broken by object
+/// id for determinism) and first-fits each object into the per-core
+/// capacities.
+pub fn pack(items: &[PackItem], capacities: &[u64]) -> Packing {
+    let mut sorted: Vec<&PackItem> = items.iter().collect();
+    sorted.sort_by(|a, b| {
+        b.expense
+            .partial_cmp(&a.expense)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.object.cmp(&b.object))
+    });
+
+    let mut free: Vec<u64> = capacities.to_vec();
+    let mut out = Packing::default();
+    for item in sorted {
+        // First fit: scan cores in index order, take the first with space.
+        let slot = free.iter().position(|&f| f >= item.size);
+        match slot {
+            Some(core) => {
+                free[core] -= item.size;
+                out.placed.push((item.object, core as CoreId));
+            }
+            None => out.unplaced.push(item.object),
+        }
+    }
+    out
+}
+
+/// Incremental first-fit placement of a single object into an existing
+/// [`AssignmentTable`]. Scans cores in index order and assigns the object
+/// to the first core whose remaining budget fits it; falls back to the
+/// core with the most free space if `best_effort` is set and no core has
+/// room (without overflowing — it simply fails otherwise).
+pub fn place_one(table: &mut AssignmentTable, object: ObjectId, size: u64) -> Option<CoreId> {
+    for core in 0..table.num_cores() as CoreId {
+        if table.free_bytes(core) >= size {
+            let ok = table.assign(object, size, core);
+            debug_assert!(ok);
+            return Some(core);
+        }
+    }
+    None
+}
+
+/// Places an object on the core that currently has the most free budget,
+/// if it fits there.
+pub fn place_most_free(table: &mut AssignmentTable, object: ObjectId, size: u64) -> Option<CoreId> {
+    let core = table.most_free_core();
+    if table.free_bytes(core) >= size {
+        table.assign(object, size, core);
+        Some(core)
+    } else {
+        None
+    }
+}
+
+/// Balanced incremental placement: first fit over cores ordered by
+/// ascending assigned bytes (ties broken by core id).
+///
+/// Plain first fit in core-index order (the literal reading of the paper's
+/// algorithm, [`place_one`]) concentrates the first objects on the first
+/// cores and relies entirely on the runtime rebalancer to spread them —
+/// which shows up as a migration hot-spot exactly as Section 4 predicts.
+/// Visiting the least-loaded core first keeps the same O(n·log n) greedy
+/// structure while also satisfying the Section 3 requirement that the
+/// scheduler "balance both objects and operations across caches and
+/// cores"; it is the default used by [`crate::O2Policy`].
+pub fn place_balanced(table: &mut AssignmentTable, object: ObjectId, size: u64) -> Option<CoreId> {
+    let mut order: Vec<CoreId> = (0..table.num_cores() as CoreId).collect();
+    order.sort_by_key(|&c| (table.used_bytes(c), c));
+    for core in order {
+        if table.free_bytes(core) >= size {
+            let ok = table.assign(object, size, core);
+            debug_assert!(ok);
+            return Some(core);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(sizes_expenses: &[(u64, f64)]) -> Vec<PackItem> {
+        sizes_expenses
+            .iter()
+            .enumerate()
+            .map(|(i, &(size, expense))| PackItem {
+                object: i as u64 + 1,
+                size,
+                expense,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packs_most_expensive_first() {
+        // Two cores of 100 bytes; three 60-byte objects with different
+        // expenses: the two most expensive fit, the cheapest does not.
+        let its = items(&[(60, 1.0), (60, 5.0), (60, 3.0)]);
+        let p = pack(&its, &[100, 100]);
+        assert_eq!(p.placed.len(), 2);
+        assert_eq!(p.core_of(2), Some(0)); // most expensive -> first core
+        assert_eq!(p.core_of(3), Some(1));
+        assert_eq!(p.unplaced, vec![1]);
+    }
+
+    #[test]
+    fn first_fit_fills_cores_in_order() {
+        let its = items(&[(40, 4.0), (40, 3.0), (40, 2.0), (40, 1.0)]);
+        let p = pack(&its, &[100, 100]);
+        // 40+40 fit on core 0, the next two go to core 1.
+        assert_eq!(p.core_of(1), Some(0));
+        assert_eq!(p.core_of(2), Some(0));
+        assert_eq!(p.core_of(3), Some(1));
+        assert_eq!(p.core_of(4), Some(1));
+        assert!(p.unplaced.is_empty());
+    }
+
+    #[test]
+    fn oversized_objects_are_unplaced() {
+        let its = items(&[(500, 10.0)]);
+        let p = pack(&its, &[100, 100]);
+        assert!(p.placed.is_empty());
+        assert_eq!(p.unplaced, vec![1]);
+    }
+
+    #[test]
+    fn equal_expense_is_deterministic_by_object_id() {
+        let its = items(&[(50, 1.0), (50, 1.0), (50, 1.0)]);
+        let a = pack(&its, &[100, 100]);
+        let b = pack(&its, &[100, 100]);
+        assert_eq!(a, b);
+        assert_eq!(a.core_of(1), Some(0));
+        assert_eq!(a.core_of(2), Some(0));
+        assert_eq!(a.core_of(3), Some(1));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let p = pack(&[], &[100]);
+        assert!(p.placed.is_empty() && p.unplaced.is_empty());
+        let its = items(&[(10, 1.0)]);
+        let p = pack(&its, &[]);
+        assert_eq!(p.unplaced, vec![1]);
+    }
+
+    #[test]
+    fn place_one_uses_first_fitting_core() {
+        let mut t = AssignmentTable::new(vec![100, 100, 100]);
+        t.assign(99, 80, 0);
+        assert_eq!(place_one(&mut t, 1, 50), Some(1));
+        assert_eq!(place_one(&mut t, 2, 80), Some(2));
+        assert_eq!(place_one(&mut t, 3, 90), None);
+        assert_eq!(t.primary(1), Some(1));
+        assert!(!t.is_assigned(3));
+    }
+
+    #[test]
+    fn place_balanced_spreads_equal_objects_across_cores() {
+        let mut t = AssignmentTable::new(vec![100, 100, 100, 100]);
+        for obj in 1..=4u64 {
+            place_balanced(&mut t, obj, 60).expect("fits");
+        }
+        // One object per core rather than two on core 0 and two on core 1.
+        for core in 0..4 {
+            assert_eq!(t.objects_on(core).len(), 1, "core {core} unbalanced");
+        }
+        // A fifth object of the same size no longer fits anywhere.
+        assert_eq!(place_balanced(&mut t, 5, 60), None);
+        // A smaller one still does.
+        assert!(place_balanced(&mut t, 6, 30).is_some());
+    }
+
+    #[test]
+    fn place_most_free_balances() {
+        let mut t = AssignmentTable::new(vec![100, 100]);
+        t.assign(1, 70, 0);
+        assert_eq!(place_most_free(&mut t, 2, 50), Some(1));
+        assert_eq!(place_most_free(&mut t, 3, 80), None);
+    }
+
+    #[test]
+    fn packing_respects_total_capacity() {
+        // Property-style check: nothing placed can exceed per-core budgets.
+        let its: Vec<PackItem> = (0..50)
+            .map(|i| PackItem {
+                object: i,
+                size: 10 + (i % 7) * 5,
+                expense: (i % 13) as f64,
+            })
+            .collect();
+        let caps = [120u64, 80, 60, 40];
+        let p = pack(&its, &caps);
+        let mut used = vec![0u64; caps.len()];
+        for (obj, core) in &p.placed {
+            let size = its.iter().find(|it| it.object == *obj).unwrap().size;
+            used[*core as usize] += size;
+        }
+        for (u, c) in used.iter().zip(caps.iter()) {
+            assert!(u <= c, "core over budget: {u} > {c}");
+        }
+        assert_eq!(p.placed.len() + p.unplaced.len(), its.len());
+    }
+}

@@ -1,0 +1,189 @@
+//! Performance-pathology detection.
+//!
+//! "Cache packing might assign several popular objects to a single core and
+//! threads will stall waiting to operate on the objects. For example,
+//! several cores may migrate threads to the same core simultaneously. Our
+//! current solution is to detect performance pathologies at runtime and to
+//! improve performance by rearranging objects." (Section 4)
+//!
+//! The detector looks at per-core operation counts for the last epoch: if a
+//! single core completed far more operations than the average (it is a
+//! migration hot-spot), its less-popular objects are spread to the cores
+//! that completed the fewest operations.
+
+use o2_runtime::{CoreId, ObjectId};
+use o2_sim::CounterDelta;
+
+use crate::config::CoreTimeConfig;
+use crate::object::ObjectRegistry;
+use crate::rebalance::Move;
+use crate::table::AssignmentTable;
+
+/// Detects operation hot-spots: cores whose completed-operation count this
+/// epoch exceeds `pathology_factor` times the machine average.
+pub fn hot_cores(cfg: &CoreTimeConfig, deltas: &[CounterDelta]) -> Vec<CoreId> {
+    if deltas.is_empty() {
+        return Vec::new();
+    }
+    let total: u64 = deltas.iter().map(|d| d.operations_completed).sum();
+    let mean = total as f64 / deltas.len() as f64;
+    if mean <= 0.0 {
+        return Vec::new();
+    }
+    deltas
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.operations_completed as f64 > cfg.pathology_factor * mean)
+        .map(|(i, _)| i as CoreId)
+        .collect()
+}
+
+/// Plans moves that spread a hot core's objects (all but its single hottest
+/// object, which stays) to the coldest cores with room.
+pub fn plan(
+    cfg: &CoreTimeConfig,
+    table: &AssignmentTable,
+    registry: &ObjectRegistry,
+    deltas: &[CounterDelta],
+) -> Vec<Move> {
+    let hot = hot_cores(cfg, deltas);
+    if hot.is_empty() {
+        return Vec::new();
+    }
+    // Receivers: the cores with the fewest completed operations, coldest
+    // first.
+    let mut receivers: Vec<CoreId> = (0..table.num_cores() as CoreId)
+        .filter(|c| !hot.contains(c))
+        .collect();
+    receivers.sort_by_key(|&c| {
+        deltas
+            .get(c as usize)
+            .map(|d| d.operations_completed)
+            .unwrap_or(0)
+    });
+    if receivers.is_empty() {
+        return Vec::new();
+    }
+
+    let mut free: Vec<u64> = (0..table.num_cores() as CoreId)
+        .map(|c| table.free_bytes(c))
+        .collect();
+    let mut moves = Vec::new();
+
+    for &from in &hot {
+        let mut objs: Vec<ObjectId> = table.objects_on(from).to_vec();
+        if objs.len() <= 1 {
+            // A single popular object cannot be split by moving; replication
+            // (Section 6.2) handles that case when enabled.
+            continue;
+        }
+        // Keep the hottest object where it is, spread the rest (bounded per
+        // epoch so one noisy sample cannot trigger a mass migration of
+        // cached data).
+        objs.sort_by_key(|o| {
+            std::cmp::Reverse(registry.get(*o).map(|i| i.ops_last_epoch).unwrap_or(0))
+        });
+        let mut receiver_idx = 0usize;
+        for &obj in objs.iter().skip(1).take(cfg.pathology_max_moves) {
+            let size = registry.get(obj).map(|i| i.size()).unwrap_or(0);
+            if size == 0 {
+                continue;
+            }
+            // Round-robin over receivers that still have room.
+            let mut placed = false;
+            for _ in 0..receivers.len() {
+                let to = receivers[receiver_idx % receivers.len()];
+                receiver_idx += 1;
+                if to != from && free[to as usize] >= size {
+                    free[to as usize] -= size;
+                    moves.push(Move {
+                        object: obj,
+                        from,
+                        to,
+                        size,
+                    });
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                break;
+            }
+        }
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2_runtime::ObjectDescriptor;
+
+    fn ops_delta(ops: u64) -> CounterDelta {
+        CounterDelta {
+            busy_cycles: 100_000,
+            operations_completed: ops,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hot_core_detection_uses_the_factor() {
+        let cfg = CoreTimeConfig::default();
+        let deltas = vec![ops_delta(1000), ops_delta(10), ops_delta(10), ops_delta(10)];
+        assert_eq!(hot_cores(&cfg, &deltas), vec![0]);
+        let even = vec![ops_delta(100); 4];
+        assert!(hot_cores(&cfg, &even).is_empty());
+        assert!(hot_cores(&cfg, &[]).is_empty());
+    }
+
+    #[test]
+    fn zero_ops_everywhere_is_not_a_pathology() {
+        let cfg = CoreTimeConfig::default();
+        let deltas = vec![ops_delta(0); 4];
+        assert!(hot_cores(&cfg, &deltas).is_empty());
+    }
+
+    fn registry_with_ops(objs: &[(u64, u64, u64)]) -> ObjectRegistry {
+        // (id, size, ops_last_epoch approximated by recording ops then rolling)
+        let mut reg = ObjectRegistry::new(64);
+        for &(id, size, ops) in objs {
+            reg.register(ObjectDescriptor::new(id, id * 0x10000, size));
+            for _ in 0..ops {
+                reg.record_op(id, 1, 0.3);
+            }
+        }
+        reg.roll_epoch();
+        reg
+    }
+
+    #[test]
+    fn spreads_all_but_the_hottest_object() {
+        let cfg = CoreTimeConfig::default();
+        let mut table = AssignmentTable::new(vec![100_000; 4]);
+        let registry = registry_with_ops(&[(1, 10_000, 50), (2, 10_000, 20), (3, 10_000, 5)]);
+        table.assign(1, 10_000, 0);
+        table.assign(2, 10_000, 0);
+        table.assign(3, 10_000, 0);
+        let deltas = vec![ops_delta(900), ops_delta(10), ops_delta(10), ops_delta(10)];
+        let moves = plan(&cfg, &table, &registry, &deltas);
+        // Objects 2 and 3 move away; object 1 (hottest) stays.
+        let moved: Vec<ObjectId> = moves.iter().map(|m| m.object).collect();
+        assert!(moved.contains(&2) && moved.contains(&3));
+        assert!(!moved.contains(&1));
+        for m in &moves {
+            assert_eq!(m.from, 0);
+            assert_ne!(m.to, 0);
+        }
+    }
+
+    #[test]
+    fn single_object_hot_core_is_left_alone() {
+        let cfg = CoreTimeConfig::default();
+        let mut table = AssignmentTable::new(vec![100_000; 4]);
+        let registry = registry_with_ops(&[(1, 10_000, 100)]);
+        table.assign(1, 10_000, 0);
+        let deltas = vec![ops_delta(900), ops_delta(10), ops_delta(10), ops_delta(10)];
+        assert!(plan(&cfg, &table, &registry, &deltas).is_empty());
+    }
+}

@@ -1,0 +1,492 @@
+//! `O2Policy`: the CoreTime scheduler as a runtime policy.
+//!
+//! This is the piece that ties the paper's design together:
+//!
+//! * `ct_start` performs a table lookup and migrates the operation to the
+//!   core caching the object (Section 4, "Interface");
+//! * `ct_end` attributes the operation's cache misses to the object and
+//!   assigns the object to a cache when it is expensive to fetch
+//!   (Section 4, "Runtime monitoring" + the greedy cache-packing
+//!   algorithm);
+//! * at every epoch the policy rebalances objects away from saturated
+//!   cores, spreads migration hot-spots, ages out idle assignments, and —
+//!   when the Section 6.2 extensions are enabled — replicates hot
+//!   read-mostly objects and admits objects by frequency when the on-chip
+//!   budget is oversubscribed.
+
+use o2_runtime::{
+    EpochView, ObjectDescriptor, OpContext, Placement, PolicyCommand, SchedPolicy,
+};
+use o2_sim::{CounterDelta, MachineConfig};
+
+use crate::clustering::CoAccessTracker;
+use crate::config::CoreTimeConfig;
+use crate::monitor::{verdict, MonitorVerdict};
+use crate::object::ObjectRegistry;
+use crate::packing;
+use crate::pathology;
+use crate::rebalance;
+use crate::replacement;
+use crate::replication;
+use crate::table::AssignmentTable;
+
+/// Counters describing what the policy has done, for reports and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct O2Stats {
+    /// Objects assigned to caches by the monitor + packer.
+    pub assignments: u64,
+    /// Objects released because they idled for too long.
+    pub decays: u64,
+    /// Object moves planned by the counter-driven rebalancer.
+    pub rebalance_moves: u64,
+    /// Object moves planned by the pathology detector.
+    pub pathology_moves: u64,
+    /// Replicas created for read-mostly objects.
+    pub replications: u64,
+    /// Objects evicted by the frequency-based replacement policy.
+    pub replacement_evictions: u64,
+    /// Operations the policy asked to migrate.
+    pub migrations_requested: u64,
+    /// Operations that ran where the thread already was.
+    pub local_operations: u64,
+    /// Policy epochs processed.
+    pub epochs: u64,
+}
+
+/// The CoreTime O2 scheduling policy.
+pub struct O2Policy {
+    cfg: CoreTimeConfig,
+    registry: ObjectRegistry,
+    table: AssignmentTable,
+    clustering: CoAccessTracker,
+    stats: O2Stats,
+    /// Objects that could not be placed since the last epoch; used to gate
+    /// decay (releasing idle assignments only helps when something is
+    /// actually waiting for the space).
+    placement_failures_this_epoch: u64,
+}
+
+impl O2Policy {
+    /// Creates a CoreTime policy for a machine, using each core's
+    /// L2-plus-L3-share budget scaled by `capacity_fraction` as its packing
+    /// capacity.
+    pub fn new(machine: &MachineConfig, cfg: CoreTimeConfig) -> Self {
+        cfg.validate().expect("invalid CoreTime configuration");
+        let per_core =
+            (machine.per_core_budget_bytes() as f64 * cfg.capacity_fraction) as u64;
+        let capacities = vec![per_core; machine.total_cores() as usize];
+        Self {
+            cfg,
+            registry: ObjectRegistry::new(machine.line_size),
+            table: AssignmentTable::new(capacities),
+            clustering: CoAccessTracker::new(),
+            stats: O2Stats::default(),
+            placement_failures_this_epoch: 0,
+        }
+    }
+
+    /// Creates a CoreTime policy with the default configuration.
+    pub fn with_defaults(machine: &MachineConfig) -> Self {
+        Self::new(machine, CoreTimeConfig::default())
+    }
+
+    /// The policy's activity counters.
+    pub fn stats(&self) -> O2Stats {
+        self.stats
+    }
+
+    /// The current object→core assignment table.
+    pub fn table(&self) -> &AssignmentTable {
+        &self.table
+    }
+
+    /// The object registry (monitoring state).
+    pub fn registry(&self) -> &ObjectRegistry {
+        &self.registry
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CoreTimeConfig {
+        &self.cfg
+    }
+
+    /// Attempts to place a newly expensive object, in priority order:
+    /// next to a cluster partner, then greedy first fit, then (if enabled)
+    /// frequency-based replacement.
+    fn place_object(&mut self, object: u64) {
+        let Some(info) = self.registry.get(object) else {
+            return;
+        };
+        let size = info.size();
+        let frequency = info.ops_this_epoch.max(info.ops_last_epoch);
+
+        // 1. Object clustering: prefer the core already holding a partner.
+        if self.cfg.enable_clustering {
+            let partners = self
+                .clustering
+                .partners(object, self.cfg.clustering_threshold);
+            for partner in partners {
+                if let Some(core) = self.table.primary(partner) {
+                    if self.table.free_bytes(core) >= size {
+                        if self.table.assign(object, size, core) {
+                            self.stats.assignments += 1;
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Greedy first fit into the per-core budgets, visiting the
+        //    least-loaded core first so objects and the operations that
+        //    follow them stay balanced across cores (Section 3).
+        if packing::place_balanced(&mut self.table, object, size).is_some() {
+            self.stats.assignments += 1;
+            return;
+        }
+
+        // 3. The on-chip budget is full: frequency-based replacement.
+        if self.cfg.enable_replacement {
+            if let Some(adm) = replacement::admit_with_replacement(
+                &mut self.table,
+                &self.registry,
+                object,
+                size,
+                frequency,
+            ) {
+                self.stats.assignments += 1;
+                self.stats.replacement_evictions += adm.evicted.len() as u64;
+                return;
+            }
+        }
+        self.placement_failures_this_epoch += 1;
+    }
+}
+
+impl SchedPolicy for O2Policy {
+    fn name(&self) -> &'static str {
+        "coretime"
+    }
+
+    fn register_object(&mut self, object: &ObjectDescriptor) {
+        self.registry.register(*object);
+    }
+
+    fn on_ct_start(&mut self, ctx: &OpContext<'_>) -> Placement {
+        self.clustering.record(ctx.thread, ctx.object);
+        let replicas = self.table.replicas(ctx.object);
+        if replicas.is_empty() {
+            self.stats.local_operations += 1;
+            return Placement::Local;
+        }
+        let target = replication::nearest_replica(replicas, ctx.core, |a, b| {
+            ctx.machine.hops_between_cores(a, b)
+        })
+        .expect("non-empty replica list");
+        if target == ctx.core {
+            self.stats.local_operations += 1;
+            Placement::Local
+        } else {
+            self.stats.migrations_requested += 1;
+            Placement::On(target)
+        }
+    }
+
+    fn on_ct_end(&mut self, ctx: &OpContext<'_>, delta: &CounterDelta) {
+        let misses = delta.object_fetch_misses();
+        let info = self
+            .registry
+            .record_op(ctx.object, misses, self.cfg.ewma_alpha);
+        let assigned = self.table.is_assigned(ctx.object);
+        let decision = verdict(&self.cfg, info, assigned);
+        if decision == MonitorVerdict::Assign {
+            self.place_object(ctx.object);
+        }
+    }
+
+    fn on_epoch(&mut self, view: &EpochView<'_>) -> Vec<PolicyCommand> {
+        self.stats.epochs += 1;
+        self.registry.roll_epoch();
+        self.clustering.decay();
+
+        // Release assignments that have been idle for too long, freeing
+        // budget for the objects the workload is actually using (this is
+        // what lets CoreTime follow a shifting working set when the cache
+        // budget is scarce). Only done under capacity pressure: with spare
+        // budget an idle assignment costs nothing and the workload may come
+        // back to it.
+        let pressure = self.table.total_assigned_bytes() as f64
+            / self.table.total_capacity().max(1) as f64;
+        if self.cfg.enable_decay
+            && pressure >= self.cfg.decay_pressure_threshold
+            && self.placement_failures_this_epoch > 0
+        {
+            // Release roughly one idle assignment per object that failed to
+            // find room, rather than everything idle at once: mass releases
+            // at the capacity edge just trade one set of cached objects for
+            // another and the refills swamp the machine.
+            let mut budget = self.placement_failures_this_epoch;
+            for object in self.registry.idle_objects(self.cfg.decay_epochs) {
+                if budget == 0 {
+                    break;
+                }
+                if let Some(info) = self.registry.get(object) {
+                    if self.table.unassign(object, info.size()) {
+                        self.stats.decays += 1;
+                        budget -= 1;
+                    }
+                }
+            }
+        }
+        self.placement_failures_this_epoch = 0;
+
+        // Moving an assignment invalidates the cache affinity it has built
+        // up, so the reactive mechanisms only act when the epoch carries a
+        // meaningful number of samples per core.
+        let epoch_ops: u64 = view.deltas.iter().map(|d| d.operations_completed).sum();
+        let enough_signal =
+            epoch_ops >= self.cfg.min_epoch_ops_per_core * view.deltas.len().max(1) as u64;
+
+        if enough_signal {
+            // Counter-driven rebalancing away from saturated cores.
+            let moves = rebalance::plan(&self.cfg, &self.table, &self.registry, view.deltas);
+            for m in moves {
+                if self.table.reassign(m.object, m.size, m.to) {
+                    self.stats.rebalance_moves += 1;
+                }
+            }
+
+            // Spread migration hot-spots.
+            let moves = pathology::plan(&self.cfg, &self.table, &self.registry, view.deltas);
+            for m in moves {
+                if self.table.reassign(m.object, m.size, m.to) {
+                    self.stats.pathology_moves += 1;
+                }
+            }
+        }
+
+        // Replicate hot read-mostly objects (Section 6.2 extension).
+        for r in replication::plan(&self.cfg, &self.table, &self.registry) {
+            if self.table.add_replica(r.object, r.size, r.core) {
+                self.stats.replications += 1;
+            }
+        }
+
+        Vec::new()
+    }
+}
+
+impl std::fmt::Debug for O2Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("O2Policy")
+            .field("objects_known", &self.registry.len())
+            .field("objects_assigned", &self.table.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2_runtime::{
+        Engine, ObjectDescriptor, OpBuilder, OpGenerator, OpBehaviour, RuntimeConfig,
+        BehaviourCtx, Action,
+    };
+    use o2_sim::{ContentionModel, Machine};
+
+    fn quad_machine() -> Machine {
+        let mut cfg = MachineConfig::quad4();
+        cfg.contention = ContentionModel::None;
+        Machine::new(cfg)
+    }
+
+    /// A generator that round-robins annotated scans over a set of objects.
+    struct ScanGen {
+        regions: Vec<(u64, u64, u64)>, // (object id, addr, size)
+        next: usize,
+        remaining: u64,
+    }
+
+    impl OpGenerator for ScanGen {
+        fn next_op(&mut self, _ctx: &BehaviourCtx) -> Vec<Action> {
+            if self.remaining == 0 {
+                return vec![];
+            }
+            self.remaining -= 1;
+            let (id, addr, size) = self.regions[self.next % self.regions.len()];
+            self.next += 1;
+            OpBuilder::annotated(id).read(addr, size).compute(200).finish()
+        }
+    }
+
+    #[test]
+    fn expensive_objects_become_assigned_and_operations_migrate() {
+        let mut machine = quad_machine();
+        // Four 256 KB objects: far larger than what stays in a 64 KB L1 and
+        // big enough that scanning them misses heavily.
+        let regions: Vec<(u64, u64, u64)> = (0..4)
+            .map(|i| {
+                let r = machine.memory_mut().alloc(256 * 1024, i);
+                (r.addr, r.addr, r.size)
+            })
+            .collect();
+        let policy = O2Policy::with_defaults(machine.config());
+        let mut engine = Engine::new(machine, Box::new(policy), RuntimeConfig::default());
+        for (id, addr, size) in &regions {
+            engine.register_object(ObjectDescriptor::new(*id, *addr, *size));
+        }
+        // One thread per core scanning all four objects round-robin.
+        for core in 0..4 {
+            engine.spawn(
+                core,
+                Box::new(OpBehaviour::new(ScanGen {
+                    regions: regions.clone(),
+                    next: core as usize,
+                    remaining: 60,
+                })),
+            );
+        }
+        engine.run_until_cycles(60_000_000);
+        assert_eq!(engine.total_ops(), 240);
+        // The policy should have assigned the objects and begun migrating
+        // operations to them.
+        let migrations: u64 = (0..4).map(|t| engine.thread_stats(t).migrations).sum();
+        assert!(migrations > 0, "no operations migrated");
+        let in_migrations: u64 = (0..4)
+            .map(|c| engine.machine().counters(c).migrations_in)
+            .sum();
+        assert!(in_migrations > 0);
+    }
+
+    #[test]
+    fn cheap_objects_are_never_assigned() {
+        let machine = quad_machine();
+        let mut policy = O2Policy::with_defaults(machine.config());
+        // Simulate many cheap operations via the SchedPolicy interface.
+        let desc = ObjectDescriptor::new(0x1000, 0x1000, 4096);
+        policy.register_object(&desc);
+        for _ in 0..50 {
+            let ctx = OpContext {
+                thread: 0,
+                core: 0,
+                home_core: 0,
+                object: 0x1000,
+                now: 0,
+                machine: &machine,
+            };
+            let delta = CounterDelta {
+                l2_misses: 1,
+                busy_cycles: 1000,
+                ..Default::default()
+            };
+            policy.on_ct_end(&ctx, &delta);
+        }
+        assert!(policy.table().is_empty());
+        assert_eq!(policy.stats().assignments, 0);
+    }
+
+    #[test]
+    fn expensive_object_is_assigned_after_min_ops() {
+        let machine = quad_machine();
+        let mut policy = O2Policy::with_defaults(machine.config());
+        policy.register_object(&ObjectDescriptor::new(0x1000, 0x1000, 32 * 1024));
+        for i in 0..5 {
+            let ctx = OpContext {
+                thread: 0,
+                core: 0,
+                home_core: 0,
+                object: 0x1000,
+                now: i,
+                machine: &machine,
+            };
+            let delta = CounterDelta {
+                l2_misses: 400,
+                busy_cycles: 50_000,
+                ..Default::default()
+            };
+            policy.on_ct_end(&ctx, &delta);
+        }
+        assert!(policy.table().is_assigned(0x1000));
+        assert_eq!(policy.stats().assignments, 1);
+
+        // Subsequent ct_start calls from another core now migrate.
+        let ctx = OpContext {
+            thread: 1,
+            core: 3,
+            home_core: 3,
+            object: 0x1000,
+            now: 100,
+            machine: &machine,
+        };
+        let placement = policy.on_ct_start(&ctx);
+        assert!(matches!(placement, Placement::On(_)));
+        assert_eq!(policy.stats().migrations_requested, 1);
+    }
+
+    #[test]
+    fn idle_assignments_decay_after_the_configured_epochs() {
+        let machine = quad_machine();
+        let mut cfg = CoreTimeConfig::default();
+        cfg.enable_decay = true;
+        cfg.decay_epochs = 2;
+        // Force decay regardless of how little of the budget is in use.
+        cfg.decay_pressure_threshold = 0.0;
+        let mut policy = O2Policy::new(machine.config(), cfg);
+        policy.register_object(&ObjectDescriptor::new(0x1000, 0x1000, 32 * 1024));
+        for _ in 0..5 {
+            let ctx = OpContext {
+                thread: 0,
+                core: 0,
+                home_core: 0,
+                object: 0x1000,
+                now: 0,
+                machine: &machine,
+            };
+            let delta = CounterDelta {
+                l2_misses: 400,
+                busy_cycles: 50_000,
+                ..Default::default()
+            };
+            policy.on_ct_end(&ctx, &delta);
+        }
+        assert!(policy.table().is_assigned(0x1000));
+        // A second object, too large to place anywhere, keeps failing
+        // placement: that demand is what allows idle assignments to decay.
+        policy.register_object(&ObjectDescriptor::new(0x2000, 0x2000, 64 * 1024 * 1024));
+        let idle_delta = vec![CounterDelta::default(); 4];
+        for epoch in 0..3u64 {
+            let ctx = OpContext {
+                thread: 1,
+                core: 1,
+                home_core: 1,
+                object: 0x2000,
+                now: epoch * 100_000,
+                machine: &machine,
+            };
+            let delta = CounterDelta {
+                l2_misses: 100_000,
+                busy_cycles: 1_000_000,
+                ..Default::default()
+            };
+            policy.on_ct_end(&ctx, &delta);
+            let view = EpochView {
+                now: (epoch + 1) * 100_000,
+                machine: &machine,
+                deltas: &idle_delta,
+            };
+            policy.on_epoch(&view);
+        }
+        assert!(!policy.table().is_assigned(0x1000));
+        assert_eq!(policy.stats().decays, 1);
+    }
+
+    #[test]
+    fn policy_name_and_debug() {
+        let machine = quad_machine();
+        let policy = O2Policy::with_defaults(machine.config());
+        assert_eq!(policy.name(), "coretime");
+        let dbg = format!("{policy:?}");
+        assert!(dbg.contains("O2Policy"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Frequency-based on-chip replacement (Section 6.2).
+//!
+//! "Working sets larger than the total on-chip memory present another
+//! interesting tradeoff. In these situations O2 schedulers might want to
+//! use a cache replacement policy that, for example, stores the objects
+//! accessed most frequently on-chip and stores the less frequently accessed
+//! objects off-chip."
+//!
+//! When the packer finds no core with room for a newly expensive object,
+//! this module decides whether the object deserves a slot more than some
+//! already-assigned objects; if so, it evicts the colder objects and admits
+//! the new one.
+
+use o2_runtime::{CoreId, ObjectId};
+
+use crate::object::ObjectRegistry;
+use crate::table::AssignmentTable;
+
+/// The outcome of a replacement attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Admission {
+    /// The core the new object was assigned to.
+    pub core: CoreId,
+    /// Objects that were evicted (unassigned) to make room.
+    pub evicted: Vec<ObjectId>,
+}
+
+/// Tries to admit `object` (of `size` bytes, with `frequency` operations
+/// last epoch) by evicting strictly colder objects from a single core.
+///
+/// The core chosen is the one where the needed room can be freed by
+/// evicting the coldest victims; eviction only happens if every victim is
+/// strictly colder than the incoming object, so the policy converges to
+/// keeping the most frequently used objects on-chip.
+pub fn admit_with_replacement(
+    table: &mut AssignmentTable,
+    registry: &ObjectRegistry,
+    object: ObjectId,
+    size: u64,
+    frequency: u64,
+) -> Option<Admission> {
+    let mut best: Option<(CoreId, Vec<(ObjectId, u64)>, u64)> = None;
+
+    for core in 0..table.num_cores() as CoreId {
+        if table.capacity(core) < size {
+            continue;
+        }
+        let needed = size.saturating_sub(table.free_bytes(core));
+        if needed == 0 {
+            // There is room without evicting anything; the caller should
+            // have used plain placement, but handle it gracefully.
+            best = Some((core, Vec::new(), 0));
+            break;
+        }
+        // Candidate victims: strictly colder objects on this core, coldest
+        // first.
+        let mut victims: Vec<(ObjectId, u64, u64)> = table
+            .objects_on(core)
+            .iter()
+            .filter_map(|&o| {
+                registry.get(o).map(|info| (o, info.ops_last_epoch, info.size()))
+            })
+            .filter(|&(_, ops, _)| ops < frequency)
+            .collect();
+        victims.sort_by_key(|&(id, ops, _)| (ops, id));
+
+        let mut freed = 0u64;
+        let mut chosen: Vec<(ObjectId, u64)> = Vec::new();
+        let mut victim_heat = 0u64;
+        for (id, ops, vsize) in victims {
+            if freed >= needed {
+                break;
+            }
+            freed += vsize;
+            victim_heat += ops;
+            chosen.push((id, vsize));
+        }
+        if freed < needed {
+            continue;
+        }
+        // Prefer the core whose victims are collectively the coldest.
+        let better = match &best {
+            None => true,
+            Some((_, _, heat)) => victim_heat < *heat,
+        };
+        if better {
+            best = Some((core, chosen, victim_heat));
+        }
+    }
+
+    let (core, victims, _) = best?;
+    let mut evicted = Vec::new();
+    for (victim, vsize) in victims {
+        table.unassign(victim, vsize);
+        evicted.push(victim);
+    }
+    if !table.assign(object, size, core) {
+        // Should not happen (we freed enough room), but keep the table
+        // consistent if it does.
+        return None;
+    }
+    Some(Admission { core, evicted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2_runtime::ObjectDescriptor;
+
+    fn registry(entries: &[(u64, u64, u64)]) -> ObjectRegistry {
+        // (id, size, ops_last_epoch)
+        let mut reg = ObjectRegistry::new(64);
+        for &(id, size, ops) in entries {
+            reg.register(ObjectDescriptor::new(id, id * 0x10000, size));
+            for _ in 0..ops {
+                reg.record_op(id, 1, 0.3);
+            }
+        }
+        reg.roll_epoch();
+        reg
+    }
+
+    #[test]
+    fn evicts_colder_objects_to_admit_a_hotter_one() {
+        let mut table = AssignmentTable::new(vec![10_000, 10_000]);
+        let reg = registry(&[(1, 6_000, 2), (2, 6_000, 3), (3, 6_000, 50)]);
+        table.assign(1, 6_000, 0);
+        table.assign(2, 6_000, 1);
+        let adm = admit_with_replacement(&mut table, &reg, 3, 6_000, 50).expect("admitted");
+        assert_eq!(adm.evicted.len(), 1);
+        assert!(table.is_assigned(3));
+        // The evicted object is no longer assigned.
+        assert!(!table.is_assigned(adm.evicted[0]));
+    }
+
+    #[test]
+    fn does_not_evict_hotter_objects() {
+        let mut table = AssignmentTable::new(vec![10_000]);
+        let reg = registry(&[(1, 6_000, 100), (2, 6_000, 5)]);
+        table.assign(1, 6_000, 0);
+        assert!(admit_with_replacement(&mut table, &reg, 2, 6_000, 5).is_none());
+        assert!(table.is_assigned(1));
+        assert!(!table.is_assigned(2));
+    }
+
+    #[test]
+    fn prefers_the_core_with_the_coldest_victims() {
+        let mut table = AssignmentTable::new(vec![10_000, 10_000]);
+        let reg = registry(&[(1, 8_000, 20), (2, 8_000, 1), (3, 8_000, 40)]);
+        table.assign(1, 8_000, 0);
+        table.assign(2, 8_000, 1);
+        let adm = admit_with_replacement(&mut table, &reg, 3, 8_000, 40).expect("admitted");
+        assert_eq!(adm.core, 1);
+        assert_eq!(adm.evicted, vec![2]);
+    }
+
+    #[test]
+    fn uses_free_space_when_available() {
+        let mut table = AssignmentTable::new(vec![10_000]);
+        let reg = registry(&[(1, 4_000, 10)]);
+        table.assign(1, 4_000, 0);
+        let adm = admit_with_replacement(&mut table, &reg, 2, 4_000, 1).expect("admitted");
+        assert!(adm.evicted.is_empty());
+        assert!(table.is_assigned(1) && table.is_assigned(2));
+    }
+
+    #[test]
+    fn object_larger_than_any_core_is_rejected() {
+        let mut table = AssignmentTable::new(vec![10_000, 10_000]);
+        let reg = registry(&[]);
+        assert!(admit_with_replacement(&mut table, &reg, 1, 50_000, 100).is_none());
+    }
+
+    #[test]
+    fn may_evict_several_victims() {
+        let mut table = AssignmentTable::new(vec![12_000]);
+        let reg = registry(&[(1, 4_000, 1), (2, 4_000, 2), (3, 4_000, 3), (4, 12_000, 99)]);
+        table.assign(1, 4_000, 0);
+        table.assign(2, 4_000, 0);
+        table.assign(3, 4_000, 0);
+        let adm = admit_with_replacement(&mut table, &reg, 4, 12_000, 99).expect("admitted");
+        assert_eq!(adm.evicted.len(), 3);
+        assert_eq!(table.objects_on(0), &[4]);
+    }
+}

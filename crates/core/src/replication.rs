@@ -1,0 +1,155 @@
+//! Read-only object replication (Section 6.2).
+//!
+//! "Sometimes it is better to replicate read-only objects and other times
+//! it might be better to schedule more distinct objects." When enabled,
+//! CoreTime replicates hot read-mostly objects into additional caches so
+//! that operations on them can run on several cores, trading on-chip
+//! capacity for parallelism.
+
+use o2_runtime::{CoreId, ObjectId};
+
+use crate::config::CoreTimeConfig;
+use crate::object::ObjectRegistry;
+use crate::table::AssignmentTable;
+
+/// A planned replica creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Replica {
+    /// The object to replicate.
+    pub object: ObjectId,
+    /// The core that should receive the new copy.
+    pub core: CoreId,
+    /// Object size in bytes.
+    pub size: u64,
+}
+
+/// Plans replica creations for one epoch: read-mostly objects that were
+/// operated on at least `replication_hot_ops` times last epoch gain one
+/// replica per epoch, up to `max_replicas`, placed on the core with the
+/// most free budget.
+pub fn plan(
+    cfg: &CoreTimeConfig,
+    table: &AssignmentTable,
+    registry: &ObjectRegistry,
+) -> Vec<Replica> {
+    if !cfg.enable_replication {
+        return Vec::new();
+    }
+    let mut plans = Vec::new();
+    let mut free: Vec<u64> = (0..table.num_cores() as CoreId)
+        .map(|c| table.free_bytes(c))
+        .collect();
+
+    // Deterministic order: hottest objects first.
+    let mut candidates: Vec<(ObjectId, u64, u64)> = registry
+        .iter()
+        .filter(|(_, info)| info.desc.read_mostly)
+        .filter(|(_, info)| info.ops_last_epoch >= cfg.replication_hot_ops)
+        .map(|(id, info)| (*id, info.ops_last_epoch, info.size()))
+        .collect();
+    candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    for (object, _ops, size) in candidates {
+        let existing = table.replicas(object);
+        if existing.is_empty() || existing.len() >= cfg.max_replicas as usize {
+            continue;
+        }
+        // Pick the core with the most free budget that has no copy yet.
+        let target = (0..table.num_cores() as CoreId)
+            .filter(|c| !existing.contains(c) && free[*c as usize] >= size)
+            .max_by_key(|c| free[*c as usize]);
+        if let Some(core) = target {
+            free[core as usize] -= size;
+            plans.push(Replica {
+                object,
+                core,
+                size,
+            });
+        }
+    }
+    plans
+}
+
+/// Chooses which copy of a replicated object an operation should use: the
+/// one closest to the requesting core (by chip hop distance), breaking ties
+/// towards the lowest core id for determinism.
+pub fn nearest_replica(
+    replicas: &[CoreId],
+    from_core: CoreId,
+    hops: impl Fn(CoreId, CoreId) -> u32,
+) -> Option<CoreId> {
+    replicas
+        .iter()
+        .copied()
+        .min_by_key(|&c| (hops(from_core, c), c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2_runtime::ObjectDescriptor;
+
+    fn setup(hot_ops: u64, read_mostly: bool) -> (CoreTimeConfig, AssignmentTable, ObjectRegistry) {
+        let mut cfg = CoreTimeConfig::default();
+        cfg.enable_replication = true;
+        let mut table = AssignmentTable::new(vec![100_000; 4]);
+        let mut registry = ObjectRegistry::new(64);
+        registry.register(ObjectDescriptor::new(1, 0x1000, 8_000).read_mostly(read_mostly));
+        for _ in 0..hot_ops {
+            registry.record_op(1, 4, 0.3);
+        }
+        registry.roll_epoch();
+        table.assign(1, 8_000, 0);
+        (cfg, table, registry)
+    }
+
+    #[test]
+    fn hot_read_mostly_objects_gain_replicas() {
+        let (cfg, table, registry) = setup(100, true);
+        let plans = plan(&cfg, &table, &registry);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].object, 1);
+        assert_ne!(plans[0].core, 0);
+    }
+
+    #[test]
+    fn cold_or_writable_objects_are_not_replicated() {
+        let (cfg, table, registry) = setup(10, true);
+        assert!(plan(&cfg, &table, &registry).is_empty());
+        let (cfg, table, registry) = setup(100, false);
+        assert!(plan(&cfg, &table, &registry).is_empty());
+    }
+
+    #[test]
+    fn disabled_replication_plans_nothing() {
+        let (mut cfg, table, registry) = setup(100, true);
+        cfg.enable_replication = false;
+        assert!(plan(&cfg, &table, &registry).is_empty());
+    }
+
+    #[test]
+    fn replica_count_is_capped() {
+        let (mut cfg, mut table, registry) = setup(100, true);
+        cfg.max_replicas = 2;
+        table.add_replica(1, 8_000, 1);
+        assert!(plan(&cfg, &table, &registry).is_empty());
+    }
+
+    #[test]
+    fn unassigned_objects_are_not_replicated() {
+        let (cfg, mut table, registry) = setup(100, true);
+        table.unassign(1, 8_000);
+        assert!(plan(&cfg, &table, &registry).is_empty());
+    }
+
+    #[test]
+    fn nearest_replica_prefers_same_chip() {
+        // Pretend cores 0-3 are chip 0 and 4-7 chip 1.
+        let hops = |a: CoreId, b: CoreId| u32::from((a / 4) != (b / 4));
+        assert_eq!(nearest_replica(&[6, 2], 1, hops), Some(2));
+        assert_eq!(nearest_replica(&[6, 2], 5, hops), Some(6));
+        assert_eq!(nearest_replica(&[], 0, hops), None);
+        // Tie: lowest core id wins.
+        assert_eq!(nearest_replica(&[3, 1], 0, hops), Some(1));
+    }
+}

@@ -1,0 +1,287 @@
+//! The object→core assignment table consulted by `ct_start`.
+//!
+//! "`ct_start(o)` performs a table lookup to determine if the object `o`
+//! is scheduled to a specific core" (Section 4). The table also tracks how
+//! many bytes each core's cache budget has been packed with, which is what
+//! the greedy cache-packing algorithm consumes.
+
+use std::collections::HashMap;
+
+use o2_runtime::{CoreId, ObjectId};
+
+/// The assignment table: object → one primary core plus optional replicas.
+#[derive(Debug, Clone)]
+pub struct AssignmentTable {
+    /// Assigned cores per object; the first entry is the primary.
+    assignments: HashMap<ObjectId, Vec<CoreId>>,
+    /// Bytes of objects assigned to each core.
+    used_bytes: Vec<u64>,
+    /// Per-core capacity budgets in bytes.
+    capacities: Vec<u64>,
+    /// Objects assigned to each core (primary or replica).
+    per_core: Vec<Vec<ObjectId>>,
+}
+
+impl AssignmentTable {
+    /// Creates a table for cores with the given capacity budgets.
+    pub fn new(capacities: Vec<u64>) -> Self {
+        let n = capacities.len();
+        Self {
+            assignments: HashMap::new(),
+            used_bytes: vec![0; n],
+            capacities,
+            per_core: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of cores covered by the table.
+    pub fn num_cores(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// The primary core an object is assigned to, if any.
+    pub fn primary(&self, object: ObjectId) -> Option<CoreId> {
+        self.assignments.get(&object).and_then(|v| v.first().copied())
+    }
+
+    /// Every core holding the object (primary first).
+    pub fn replicas(&self, object: ObjectId) -> &[CoreId] {
+        self.assignments
+            .get(&object)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Whether the object is assigned anywhere.
+    pub fn is_assigned(&self, object: ObjectId) -> bool {
+        self.assignments.contains_key(&object)
+    }
+
+    /// Number of assigned objects.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether no objects are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Free bytes remaining in a core's budget.
+    pub fn free_bytes(&self, core: CoreId) -> u64 {
+        self.capacities[core as usize].saturating_sub(self.used_bytes[core as usize])
+    }
+
+    /// Bytes currently assigned to a core.
+    pub fn used_bytes(&self, core: CoreId) -> u64 {
+        self.used_bytes[core as usize]
+    }
+
+    /// Capacity budget of a core.
+    pub fn capacity(&self, core: CoreId) -> u64 {
+        self.capacities[core as usize]
+    }
+
+    /// Objects assigned (primary or replica) to a core.
+    pub fn objects_on(&self, core: CoreId) -> &[ObjectId] {
+        &self.per_core[core as usize]
+    }
+
+    /// Assigns an object of `size` bytes to `core` as its primary location.
+    /// Any previous assignment (including replicas) is removed first.
+    /// Returns `false` (leaving the table unchanged) if the core lacks
+    /// space.
+    pub fn assign(&mut self, object: ObjectId, size: u64, core: CoreId) -> bool {
+        if self.free_bytes(core) < size && !self.replicas(object).contains(&core) {
+            return false;
+        }
+        self.unassign(object, size);
+        self.used_bytes[core as usize] += size;
+        self.per_core[core as usize].push(object);
+        self.assignments.insert(object, vec![core]);
+        true
+    }
+
+    /// Forces an assignment even if it overflows the core's budget (used by
+    /// the replacement policy after it has made room).
+    pub fn assign_unchecked(&mut self, object: ObjectId, size: u64, core: CoreId) {
+        self.unassign(object, size);
+        self.used_bytes[core as usize] += size;
+        self.per_core[core as usize].push(object);
+        self.assignments.insert(object, vec![core]);
+    }
+
+    /// Adds a replica of an already-assigned object on another core.
+    /// Returns `false` if the object is unassigned, the core lacks space,
+    /// or the core already holds a copy.
+    pub fn add_replica(&mut self, object: ObjectId, size: u64, core: CoreId) -> bool {
+        let Some(cores) = self.assignments.get(&object) else {
+            return false;
+        };
+        if cores.contains(&core) || self.free_bytes(core) < size {
+            return false;
+        }
+        self.assignments.get_mut(&object).expect("checked").push(core);
+        self.used_bytes[core as usize] += size;
+        self.per_core[core as usize].push(object);
+        true
+    }
+
+    /// Removes an object (and all its replicas) from the table, releasing
+    /// the bytes it occupied. Returns whether it was assigned.
+    pub fn unassign(&mut self, object: ObjectId, size: u64) -> bool {
+        let Some(cores) = self.assignments.remove(&object) else {
+            return false;
+        };
+        for core in cores {
+            let c = core as usize;
+            self.used_bytes[c] = self.used_bytes[c].saturating_sub(size);
+            self.per_core[c].retain(|&o| o != object);
+        }
+        true
+    }
+
+    /// Moves an object's primary copy from one core to another (dropping
+    /// replicas). Returns `false` if the destination lacks space.
+    pub fn reassign(&mut self, object: ObjectId, size: u64, to: CoreId) -> bool {
+        if !self.is_assigned(object) {
+            return false;
+        }
+        if self.free_bytes(to) < size && !self.replicas(object).contains(&to) {
+            return false;
+        }
+        self.unassign(object, size);
+        self.assign(object, size, to)
+    }
+
+    /// Core with the most free budget.
+    pub fn most_free_core(&self) -> CoreId {
+        (0..self.capacities.len() as u32)
+            .max_by_key(|&c| self.free_bytes(c))
+            .unwrap_or(0)
+    }
+
+    /// Total bytes assigned across all cores (replicas counted).
+    pub fn total_assigned_bytes(&self) -> u64 {
+        self.used_bytes.iter().sum()
+    }
+
+    /// Total capacity across all cores.
+    pub fn total_capacity(&self) -> u64 {
+        self.capacities.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> AssignmentTable {
+        AssignmentTable::new(vec![1000, 1000, 1000, 1000])
+    }
+
+    #[test]
+    fn assign_and_lookup() {
+        let mut t = table();
+        assert!(t.assign(7, 400, 2));
+        assert_eq!(t.primary(7), Some(2));
+        assert!(t.is_assigned(7));
+        assert_eq!(t.used_bytes(2), 400);
+        assert_eq!(t.free_bytes(2), 600);
+        assert_eq!(t.objects_on(2), &[7]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn assign_fails_when_core_is_full() {
+        let mut t = table();
+        assert!(t.assign(1, 800, 0));
+        assert!(!t.assign(2, 300, 0));
+        assert_eq!(t.primary(2), None);
+        assert_eq!(t.used_bytes(0), 800);
+    }
+
+    #[test]
+    fn reassigning_moves_bytes() {
+        let mut t = table();
+        t.assign(1, 500, 0);
+        assert!(t.reassign(1, 500, 3));
+        assert_eq!(t.primary(1), Some(3));
+        assert_eq!(t.used_bytes(0), 0);
+        assert_eq!(t.used_bytes(3), 500);
+        assert!(t.objects_on(0).is_empty());
+    }
+
+    #[test]
+    fn reassign_unknown_object_fails() {
+        let mut t = table();
+        assert!(!t.reassign(9, 100, 1));
+    }
+
+    #[test]
+    fn unassign_releases_capacity() {
+        let mut t = table();
+        t.assign(1, 500, 0);
+        assert!(t.unassign(1, 500));
+        assert!(!t.unassign(1, 500));
+        assert_eq!(t.free_bytes(0), 1000);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn replicas_occupy_space_on_each_core() {
+        let mut t = table();
+        t.assign(1, 300, 0);
+        assert!(t.add_replica(1, 300, 1));
+        assert!(t.add_replica(1, 300, 2));
+        // Already replicated there.
+        assert!(!t.add_replica(1, 300, 1));
+        assert_eq!(t.replicas(1), &[0, 1, 2]);
+        assert_eq!(t.total_assigned_bytes(), 900);
+        // Unassign removes every copy.
+        t.unassign(1, 300);
+        assert_eq!(t.total_assigned_bytes(), 0);
+        assert!(t.objects_on(1).is_empty());
+    }
+
+    #[test]
+    fn replica_of_unassigned_object_fails() {
+        let mut t = table();
+        assert!(!t.add_replica(5, 100, 0));
+    }
+
+    #[test]
+    fn assign_unchecked_can_overflow() {
+        let mut t = table();
+        t.assign_unchecked(1, 5000, 0);
+        assert_eq!(t.used_bytes(0), 5000);
+        assert_eq!(t.free_bytes(0), 0);
+        assert_eq!(t.primary(1), Some(0));
+    }
+
+    #[test]
+    fn most_free_core_prefers_emptier_cores() {
+        let mut t = table();
+        t.assign(1, 900, 0);
+        t.assign(2, 500, 1);
+        let c = t.most_free_core();
+        assert!(c == 2 || c == 3);
+    }
+
+    #[test]
+    fn totals() {
+        let t = table();
+        assert_eq!(t.total_capacity(), 4000);
+        assert_eq!(t.total_assigned_bytes(), 0);
+        assert_eq!(t.num_cores(), 4);
+    }
+
+    #[test]
+    fn reassigning_same_object_to_same_core_keeps_single_copy() {
+        let mut t = table();
+        t.assign(1, 400, 2);
+        assert!(t.assign(1, 400, 2));
+        assert_eq!(t.used_bytes(2), 400);
+        assert_eq!(t.objects_on(2), &[1]);
+    }
+}

@@ -1,0 +1,316 @@
+//! The in-memory FAT volume used by the benchmarks.
+//!
+//! The paper modified EFSL "to use an in-memory image rather than disk
+//! operations, to not use a buffer cache, and to have a higher-performance
+//! inner loop for file name lookup". This module builds exactly that: a
+//! byte-for-byte FAT-style volume held in memory, whose directories can be
+//! mapped into the simulated physical address space so that searches
+//! generate cache traffic on the simulated machine.
+
+use o2_sim::{Addr, SimMemory};
+
+use crate::dirent::{synthetic_name, DirEntry, DIRENT_SIZE};
+use crate::fat::{Fat, FatError};
+
+/// Geometry of the volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VolumeGeometry {
+    /// Bytes per cluster.
+    pub bytes_per_cluster: u32,
+    /// Total data clusters available.
+    pub data_clusters: u32,
+}
+
+impl Default for VolumeGeometry {
+    fn default() -> Self {
+        Self {
+            bytes_per_cluster: 4096,
+            data_clusters: 16_384, // 64 MB of data clusters by default
+        }
+    }
+}
+
+/// A directory created on the volume.
+#[derive(Debug, Clone)]
+pub struct DirectoryHandle {
+    /// Index of the directory (0-based creation order).
+    pub index: u32,
+    /// First cluster of the directory's entry data.
+    pub first_cluster: u16,
+    /// Number of 32-byte entries.
+    pub entry_count: u32,
+    /// Offset of the directory's first byte within the volume image.
+    pub image_offset: usize,
+    /// Bytes occupied by the directory's entries.
+    pub byte_len: usize,
+    /// Simulated address of the directory data (set by
+    /// [`Volume::map_into`]; zero until then).
+    pub sim_addr: Addr,
+    /// Simulated address of the directory's spin-lock word (set by
+    /// [`Volume::map_into`]; zero until then).
+    pub lock_addr: Addr,
+}
+
+impl DirectoryHandle {
+    /// The object identifier used for CoreTime annotations: the simulated
+    /// address of the directory data, as in the paper where an object is
+    /// identified by address.
+    pub fn object_id(&self) -> u64 {
+        self.sim_addr
+    }
+
+    /// Simulated address of entry `i`.
+    pub fn entry_addr(&self, i: u32) -> Addr {
+        self.sim_addr + u64::from(i) * DIRENT_SIZE as u64
+    }
+}
+
+/// Errors from volume construction and lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VolumeError {
+    /// The FAT ran out of clusters.
+    Fat(FatError),
+    /// A directory index was out of range.
+    NoSuchDirectory,
+}
+
+impl From<FatError> for VolumeError {
+    fn from(e: FatError) -> Self {
+        VolumeError::Fat(e)
+    }
+}
+
+/// The in-memory volume.
+#[derive(Debug, Clone)]
+pub struct Volume {
+    geometry: VolumeGeometry,
+    fat: Fat,
+    /// The data area (cluster 2 starts at offset 0).
+    image: Vec<u8>,
+    directories: Vec<DirectoryHandle>,
+}
+
+impl Volume {
+    /// Creates an empty volume.
+    pub fn new(geometry: VolumeGeometry) -> Self {
+        let clusters = geometry.data_clusters as usize + 2;
+        Self {
+            geometry,
+            fat: Fat::new(clusters),
+            image: vec![0u8; geometry.data_clusters as usize * geometry.bytes_per_cluster as usize],
+            directories: Vec::new(),
+        }
+    }
+
+    /// Builds the paper's benchmark volume: `n_dirs` directories with
+    /// `files_per_dir` 32-byte entries each (1,000 in the paper).
+    pub fn build_benchmark(n_dirs: u32, files_per_dir: u32) -> Result<Self, VolumeError> {
+        let mut geometry = VolumeGeometry::default();
+        // Make sure the data area is large enough for the requested layout.
+        let bytes_per_dir =
+            (files_per_dir as usize * DIRENT_SIZE).div_ceil(geometry.bytes_per_cluster as usize)
+                * geometry.bytes_per_cluster as usize;
+        let needed_clusters =
+            (n_dirs as usize * bytes_per_dir) / geometry.bytes_per_cluster as usize + 8;
+        geometry.data_clusters = geometry.data_clusters.max(needed_clusters as u32);
+        let mut v = Self::new(geometry);
+        for _ in 0..n_dirs {
+            v.create_directory(files_per_dir)?;
+        }
+        Ok(v)
+    }
+
+    /// The volume geometry.
+    pub fn geometry(&self) -> VolumeGeometry {
+        self.geometry
+    }
+
+    /// The directories created so far.
+    pub fn directories(&self) -> &[DirectoryHandle] {
+        &self.directories
+    }
+
+    /// A directory by index.
+    pub fn directory(&self, index: u32) -> Result<&DirectoryHandle, VolumeError> {
+        self.directories
+            .get(index as usize)
+            .ok_or(VolumeError::NoSuchDirectory)
+    }
+
+    /// Total bytes of directory data (the paper's "total data size" x-axis).
+    pub fn total_directory_bytes(&self) -> u64 {
+        self.directories.iter().map(|d| d.byte_len as u64).sum()
+    }
+
+    /// Creates a directory populated with `files` synthetic entries and
+    /// returns its index.
+    pub fn create_directory(&mut self, files: u32) -> Result<u32, VolumeError> {
+        let bytes = files as usize * DIRENT_SIZE;
+        let clusters = bytes.div_ceil(self.geometry.bytes_per_cluster as usize).max(1);
+        let first_cluster = self.fat.alloc_chain(clusters)?;
+        let chain = self.fat.chain(first_cluster)?;
+        let image_offset = self.cluster_offset(chain[0]);
+
+        // Write the entries. Chains from a fresh FAT are contiguous, so the
+        // directory occupies a contiguous byte range of the image; assert
+        // that invariant because the lookup path relies on it.
+        for (i, w) in chain.windows(2).enumerate() {
+            debug_assert_eq!(w[1], w[0] + 1, "cluster chain not contiguous at {i}");
+        }
+        for i in 0..files {
+            let entry = DirEntry::file(&synthetic_name(i), first_cluster, 64);
+            let off = image_offset + i as usize * DIRENT_SIZE;
+            self.image[off..off + DIRENT_SIZE].copy_from_slice(&entry.encode());
+        }
+
+        let index = self.directories.len() as u32;
+        self.directories.push(DirectoryHandle {
+            index,
+            first_cluster,
+            entry_count: files,
+            image_offset,
+            byte_len: bytes,
+            sim_addr: 0,
+            lock_addr: 0,
+        });
+        Ok(index)
+    }
+
+    /// Reads entry `i` of directory `dir` from the image.
+    pub fn read_entry(&self, dir: u32, i: u32) -> Result<DirEntry, VolumeError> {
+        let d = self.directory(dir)?;
+        if i >= d.entry_count {
+            return Err(VolumeError::NoSuchDirectory);
+        }
+        let off = d.image_offset + i as usize * DIRENT_SIZE;
+        Ok(DirEntry::decode(&self.image[off..off + DIRENT_SIZE]).expect("entry in bounds"))
+    }
+
+    /// Linear search of directory `dir` for `name`, exactly like the
+    /// benchmark's inner loop. Returns the entry index and the number of
+    /// entries examined.
+    pub fn search(&self, dir: u32, name: &str) -> Result<Option<(u32, u32)>, VolumeError> {
+        let d = self.directory(dir)?;
+        for i in 0..d.entry_count {
+            let e = self.read_entry(dir, i)?;
+            if e.matches(name) {
+                return Ok(Some((i, i + 1)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Maps every directory (and a per-directory lock word) into the
+    /// simulated address space. Each directory becomes its own region,
+    /// labelled with the directory index, with DRAM homes spread round-robin
+    /// across chips — the natural layout for interleaved shared data.
+    pub fn map_into(&mut self, memory: &mut SimMemory) {
+        for d in &mut self.directories {
+            let region = memory.alloc(d.byte_len as u64, u64::from(d.index));
+            d.sim_addr = region.addr;
+            let lock_region = memory.alloc(64, 0xF000_0000 + u64::from(d.index));
+            d.lock_addr = lock_region.addr;
+        }
+    }
+
+    /// Whether [`Volume::map_into`] has been called.
+    pub fn is_mapped(&self) -> bool {
+        self.directories.iter().all(|d| d.sim_addr != 0)
+    }
+
+    fn cluster_offset(&self, cluster: u16) -> usize {
+        (cluster as usize - 2) * self.geometry.bytes_per_cluster as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_volume_matches_paper_parameters() {
+        let v = Volume::build_benchmark(20, 1000).unwrap();
+        assert_eq!(v.directories().len(), 20);
+        for d in v.directories() {
+            assert_eq!(d.entry_count, 1000);
+            assert_eq!(d.byte_len, 32_000);
+        }
+        assert_eq!(v.total_directory_bytes(), 20 * 32_000);
+    }
+
+    #[test]
+    fn entries_round_trip_through_the_image() {
+        let v = Volume::build_benchmark(3, 100).unwrap();
+        let e = v.read_entry(2, 57).unwrap();
+        assert!(e.matches(&synthetic_name(57)));
+        assert_eq!(v.read_entry(0, 0).unwrap().display_name(), "F0000000.DAT");
+        assert!(v.read_entry(0, 100).is_err());
+        assert!(v.read_entry(9, 0).is_err());
+    }
+
+    #[test]
+    fn search_finds_files_and_counts_examined_entries() {
+        let v = Volume::build_benchmark(2, 500).unwrap();
+        let (idx, examined) = v.search(1, &synthetic_name(123)).unwrap().unwrap();
+        assert_eq!(idx, 123);
+        assert_eq!(examined, 124);
+        assert_eq!(v.search(1, "MISSING.TXT").unwrap(), None);
+    }
+
+    #[test]
+    fn directories_occupy_disjoint_image_ranges() {
+        let v = Volume::build_benchmark(4, 1000).unwrap();
+        let dirs = v.directories();
+        for a in 0..dirs.len() {
+            for b in (a + 1)..dirs.len() {
+                let (da, db) = (&dirs[a], &dirs[b]);
+                let a_range = da.image_offset..da.image_offset + da.byte_len;
+                assert!(
+                    !a_range.contains(&db.image_offset),
+                    "directories {a} and {b} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn map_into_assigns_simulated_addresses_and_locks() {
+        let mut v = Volume::build_benchmark(4, 100).unwrap();
+        assert!(!v.is_mapped());
+        let mut mem = SimMemory::new(4, 64);
+        v.map_into(&mut mem);
+        assert!(v.is_mapped());
+        let addrs: Vec<u64> = v.directories().iter().map(|d| d.sim_addr).collect();
+        let mut unique = addrs.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), addrs.len());
+        for d in v.directories() {
+            assert_ne!(d.lock_addr, 0);
+            assert_ne!(d.lock_addr, d.sim_addr);
+            assert_eq!(d.object_id(), d.sim_addr);
+            assert_eq!(d.entry_addr(2), d.sim_addr + 64);
+        }
+        // Directory regions are labelled with their index for Figure-2
+        // style occupancy snapshots.
+        let labels: Vec<u64> = mem
+            .regions()
+            .filter(|r| r.label < 0xF000_0000)
+            .map(|r| r.label)
+            .collect();
+        assert_eq!(labels, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn create_directory_errors_when_full() {
+        let mut v = Volume::new(VolumeGeometry {
+            bytes_per_cluster: 4096,
+            data_clusters: 4,
+        });
+        v.create_directory(400).unwrap();
+        assert!(matches!(
+            v.create_directory(400),
+            Err(VolumeError::Fat(FatError::OutOfSpace))
+        ));
+    }
+}

@@ -1,0 +1,126 @@
+//! Experiment reports: parameters + a results table + free-form notes,
+//! rendered as markdown (used to fill EXPERIMENTS.md) or plain text.
+
+use crate::series::SeriesTable;
+
+/// A self-describing experiment report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Title, e.g. "Figure 4(a): uniform directory popularity".
+    pub title: String,
+    /// Experiment parameters as (name, value) pairs.
+    pub params: Vec<(String, String)>,
+    /// The result table.
+    pub table: SeriesTable,
+    /// Free-form observations (e.g. measured speedups, crossover points).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates a report around a result table.
+    pub fn new(title: impl Into<String>, table: SeriesTable) -> Self {
+        Self {
+            title: title.into(),
+            params: Vec::new(),
+            table,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a parameter.
+    pub fn param(mut self, name: impl Into<String>, value: impl std::fmt::Display) -> Self {
+        self.params.push((name.into(), value.to_string()));
+        self
+    }
+
+    /// Adds a note.
+    pub fn note(mut self, text: impl Into<String>) -> Self {
+        self.notes.push(text.into());
+        self
+    }
+
+    /// Renders the report as markdown.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n\n", self.title));
+        if !self.params.is_empty() {
+            out.push_str("**Parameters**\n\n");
+            for (k, v) in &self.params {
+                out.push_str(&format!("- {k}: {v}\n"));
+            }
+            out.push('\n');
+        }
+        out.push_str("```text\n");
+        out.push_str(&self.table.render_text());
+        out.push_str("```\n");
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("- {n}\n"));
+            }
+        }
+        out
+    }
+
+    /// Renders the report as plain text for terminal output.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== {} ===\n", self.title));
+        for (k, v) in &self.params {
+            out.push_str(&format!("  {k}: {v}\n"));
+        }
+        out.push('\n');
+        out.push_str(&self.table.render_text());
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("  * {n}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    fn report() -> Report {
+        let mut s = Series::new("With CoreTime");
+        s.push(1024.0, 2000.0);
+        let mut table = SeriesTable::new("Total data size (KB)");
+        table.add(s);
+        Report::new("Figure 4(a)", table)
+            .param("directories", 64)
+            .param("entries per directory", 1000)
+            .note("CoreTime is 2.4x faster beyond 2 MB")
+    }
+
+    #[test]
+    fn markdown_contains_all_sections() {
+        let md = report().render_markdown();
+        assert!(md.starts_with("## Figure 4(a)"));
+        assert!(md.contains("- directories: 64"));
+        assert!(md.contains("With CoreTime"));
+        assert!(md.contains("2.4x faster"));
+        assert!(md.contains("```text"));
+    }
+
+    #[test]
+    fn text_rendering_contains_title_params_and_notes() {
+        let txt = report().render_text();
+        assert!(txt.contains("=== Figure 4(a) ==="));
+        assert!(txt.contains("entries per directory: 1000"));
+        assert!(txt.contains("* CoreTime"));
+    }
+
+    #[test]
+    fn report_without_params_or_notes_renders() {
+        let table = SeriesTable::new("x");
+        let r = Report::new("Empty", table);
+        let md = r.render_markdown();
+        assert!(md.contains("## Empty"));
+        assert!(!md.contains("**Parameters**"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Data series and tables, with plain-text and CSV rendering.
+//!
+//! The benchmark harness prints every figure of the paper as a table of
+//! series (e.g. "With CoreTime" / "Without CoreTime" versus total data
+//! size), so that the numbers can be compared directly against the plots.
+
+/// A named series of (x, y) points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Series name (e.g. "With CoreTime").
+    pub name: String,
+    /// The points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at a given x, if present (exact match).
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (*px - x).abs() < 1e-9)
+            .map(|(_, y)| *y)
+    }
+
+    /// All x values.
+    pub fn xs(&self) -> Vec<f64> {
+        self.points.iter().map(|(x, _)| *x).collect()
+    }
+
+    /// Maximum y value (None if empty).
+    pub fn max_y(&self) -> Option<f64> {
+        self.points.iter().map(|(_, y)| *y).fold(None, |acc, y| {
+            Some(match acc {
+                None => y,
+                Some(a) => a.max(y),
+            })
+        })
+    }
+}
+
+/// A table built from several series sharing an x axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesTable {
+    /// Label of the x column.
+    pub x_label: String,
+    /// The series (columns).
+    pub series: Vec<Series>,
+}
+
+impl SeriesTable {
+    /// Creates a table with the given x-axis label.
+    pub fn new(x_label: impl Into<String>) -> Self {
+        Self {
+            x_label: x_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn add(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// The union of all x values, sorted.
+    pub fn xs(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.xs()).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        xs
+    }
+
+    /// Renders an aligned plain-text table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut headers = vec![self.x_label.clone()];
+        headers.extend(self.series.iter().map(|s| s.name.clone()));
+        let xs = self.xs();
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for &x in &xs {
+            let mut row = vec![format_num(x)];
+            for s in &self.series {
+                row.push(match s.y_at(x) {
+                    Some(y) => format_num(y),
+                    None => "-".to_string(),
+                });
+            }
+            rows.push(row);
+        }
+        let widths: Vec<usize> = headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                rows.iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label);
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.name);
+        }
+        out.push('\n');
+        for x in self.xs() {
+            out.push_str(&format_num(x));
+            for s in &self.series {
+                out.push(',');
+                if let Some(y) = s.y_at(x) {
+                    out.push_str(&format_num(y));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 && v.abs() < 1e15 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SeriesTable {
+        let mut with = Series::new("With CoreTime");
+        with.push(1024.0, 3000.0);
+        with.push(4096.0, 2500.0);
+        let mut without = Series::new("Without CoreTime");
+        without.push(1024.0, 2900.0);
+        without.push(4096.0, 1000.0);
+        let mut t = SeriesTable::new("Total data size (KB)");
+        t.add(with);
+        t.add(without);
+        t
+    }
+
+    #[test]
+    fn series_accessors() {
+        let mut s = Series::new("x");
+        s.push(1.0, 10.0);
+        s.push(2.0, 30.0);
+        assert_eq!(s.y_at(2.0), Some(30.0));
+        assert_eq!(s.y_at(3.0), None);
+        assert_eq!(s.xs(), vec![1.0, 2.0]);
+        assert_eq!(s.max_y(), Some(30.0));
+        assert_eq!(Series::new("empty").max_y(), None);
+    }
+
+    #[test]
+    fn xs_are_merged_and_sorted() {
+        let mut t = table();
+        let mut extra = Series::new("extra");
+        extra.push(2048.0, 5.0);
+        t.add(extra);
+        assert_eq!(t.xs(), vec![1024.0, 2048.0, 4096.0]);
+    }
+
+    #[test]
+    fn text_rendering_contains_headers_and_values() {
+        let text = table().render_text();
+        assert!(text.contains("Total data size (KB)"));
+        assert!(text.contains("With CoreTime"));
+        assert!(text.contains("3000"));
+        assert!(text.contains("1000"));
+        // Missing points render as '-'.
+        let mut t = table();
+        let mut sparse = Series::new("sparse");
+        sparse.push(1024.0, 1.0);
+        t.add(sparse);
+        assert!(t.render_text().contains('-'));
+    }
+
+    #[test]
+    fn csv_rendering_is_machine_readable() {
+        let csv = table().render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "Total data size (KB),With CoreTime,Without CoreTime");
+        assert_eq!(lines[1], "1024,3000,2900");
+        assert_eq!(lines[2], "4096,2500,1000");
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_num(2.0), "2");
+        assert_eq!(format_num(2.5), "2.50");
+    }
+}

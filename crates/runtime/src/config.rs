@@ -1,0 +1,162 @@
+//! Runtime configuration: migration costs, polling, locking and epoch
+//! parameters.
+
+use crate::types::Cycles;
+
+/// Tunable parameters of the cooperative runtime.
+///
+/// The defaults are calibrated so that a migrate-out/migrate-back round
+/// trip (save context, transfer, destination poll delay, restore context,
+/// twice) costs roughly the 2000 cycles the paper measured on the AMD
+/// system; the `table_latency` harness verifies this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Cycles to save a thread context into the shared migration buffer.
+    pub save_context_cycles: Cycles,
+    /// Cycles to restore a thread context from the migration buffer.
+    pub restore_context_cycles: Cycles,
+    /// Interval at which a destination core polls its migration inbox; on
+    /// average a migrating thread waits half of this on top of the
+    /// save/transfer/restore costs.
+    pub poll_interval_cycles: Cycles,
+    /// Cycles burned per spin-lock retry while the lock is held by a thread
+    /// on a *different* core.
+    pub lock_spin_cycles: Cycles,
+    /// Cycles charged for a successful lock acquire / release, in addition
+    /// to the memory access on the lock word.
+    pub lock_op_cycles: Cycles,
+    /// Cycles charged for a voluntary yield.
+    pub yield_cycles: Cycles,
+    /// Whether `Placement::On` decisions are honoured. Disabling this turns
+    /// any policy into the plain thread scheduler; it exists so experiments
+    /// can hold everything else constant.
+    pub migration_enabled: bool,
+    /// Whether a migrated thread returns to its home core after `ct_end`.
+    /// The paper's `ct_end` only marks the thread "ready to run on another
+    /// core"; leaving it where it is until the next `ct_start` decides a
+    /// destination saves one migration per operation, so this defaults to
+    /// `false`.
+    pub return_home_after_op: bool,
+    /// Interval between policy epochs (rebalancing opportunities).
+    pub epoch_cycles: Cycles,
+    /// Round-robin quantum for threads sharing a core.
+    pub quantum_cycles: Cycles,
+    /// How far an idle core's clock advances per simulation step.
+    pub idle_step_cycles: Cycles,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            save_context_cycles: 400,
+            restore_context_cycles: 400,
+            poll_interval_cycles: 400,
+            lock_spin_cycles: 60,
+            lock_op_cycles: 20,
+            yield_cycles: 20,
+            migration_enabled: true,
+            return_home_after_op: false,
+            epoch_cycles: 200_000,
+            quantum_cycles: 50_000,
+            idle_step_cycles: 400,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Expected one-way migration cost excluding the interconnect transfer:
+    /// context save + average poll delay + context restore.
+    pub fn expected_migration_cycles(&self) -> Cycles {
+        self.save_context_cycles + self.poll_interval_cycles / 2 + self.restore_context_cycles
+    }
+
+    /// Scales every migration-related cost so that the expected one-way
+    /// migration cost becomes approximately `target` cycles. Used by the
+    /// migration-cost ablation (Section 6.1 discusses how hardware support
+    /// such as active messages could reduce this cost).
+    pub fn with_migration_cost(mut self, target: Cycles) -> Self {
+        let current = self.expected_migration_cycles().max(1);
+        let scale = target as f64 / current as f64;
+        self.save_context_cycles = ((self.save_context_cycles as f64) * scale).round() as u64;
+        self.restore_context_cycles =
+            ((self.restore_context_cycles as f64) * scale).round() as u64;
+        self.poll_interval_cycles =
+            (((self.poll_interval_cycles as f64) * scale).round() as u64).max(2);
+        self
+    }
+
+    /// Disables operation migration (turning any policy into the baseline
+    /// thread scheduler).
+    pub fn without_migration(mut self) -> Self {
+        self.migration_enabled = false;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.epoch_cycles == 0 {
+            return Err("epoch_cycles must be positive".into());
+        }
+        if self.quantum_cycles == 0 {
+            return Err("quantum_cycles must be positive".into());
+        }
+        if self.idle_step_cycles == 0 {
+            return Err("idle_step_cycles must be positive".into());
+        }
+        if self.poll_interval_cycles == 0 {
+            return Err("poll_interval_cycles must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_migration_round_trip_is_about_2000_cycles() {
+        let cfg = RuntimeConfig::default();
+        let one_way = cfg.expected_migration_cycles();
+        assert!(
+            (1500..=2500).contains(&(2 * one_way)),
+            "expected ~2000 cycle round trip, got {}",
+            2 * one_way
+        );
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn with_migration_cost_scales_towards_target() {
+        let cfg = RuntimeConfig::default().with_migration_cost(8000);
+        let c = cfg.expected_migration_cycles();
+        assert!((7000..=9000).contains(&c), "got {c}");
+
+        let cheap = RuntimeConfig::default().with_migration_cost(200);
+        let c = cheap.expected_migration_cycles();
+        assert!(c <= 400, "got {c}");
+        cheap.validate().unwrap();
+    }
+
+    #[test]
+    fn without_migration_disables_migration() {
+        let cfg = RuntimeConfig::default().without_migration();
+        assert!(!cfg.migration_enabled);
+    }
+
+    #[test]
+    fn validate_rejects_zero_intervals() {
+        let mut cfg = RuntimeConfig::default();
+        cfg.epoch_cycles = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RuntimeConfig::default();
+        cfg.quantum_cycles = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RuntimeConfig::default();
+        cfg.idle_step_cycles = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RuntimeConfig::default();
+        cfg.poll_interval_cycles = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,978 @@
+//! The cooperative execution engine.
+//!
+//! The engine mirrors the paper's CoreTime runtime structure: one virtual
+//! core per simulated core (the paper pins one pthread per core with
+//! `sched_setaffinity`), cooperative threads multiplexed on each core,
+//! a shared migration buffer with polling at the destination, and a
+//! pluggable [`SchedPolicy`] consulted at every `ct_start`/`ct_end` and at
+//! periodic epochs.
+//!
+//! Execution is a deterministic discrete-event simulation: every core has a
+//! local cycle clock, and the engine always steps the core with the
+//! smallest clock, so results are reproducible bit-for-bit.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::action::{Action, ObjectDescriptor};
+use crate::behaviour::{BehaviourCtx, ThreadBehaviour};
+use crate::config::RuntimeConfig;
+use crate::policy::{EpochView, OpContext, Placement, PolicyCommand, SchedPolicy};
+use crate::stats::RunWindow;
+use crate::sync::LockRegistry;
+use crate::thread::{OpRecord, Thread, ThreadState, ThreadStats};
+use crate::types::{CoreId, Cycles, LockId, ObjectId, ThreadId};
+use o2_sim::{AccessKind, Machine, MachineCounters};
+
+/// A thread in transit to a core's migration inbox.
+#[derive(Debug, Clone, Copy)]
+struct Incoming {
+    thread: ThreadId,
+    ready_at: Cycles,
+}
+
+/// Per-core scheduler state.
+#[derive(Debug, Default)]
+struct CoreState {
+    clock: Cycles,
+    run_queue: VecDeque<ThreadId>,
+    current: Option<ThreadId>,
+    inbox: Vec<Incoming>,
+    quantum_used: Cycles,
+}
+
+/// The cooperative runtime engine.
+pub struct Engine {
+    machine: Machine,
+    cfg: RuntimeConfig,
+    cores: Vec<CoreState>,
+    threads: Vec<Thread>,
+    /// Where each thread currently lives (core whose queue/current/inbox
+    /// holds it); `None` once the thread is done.
+    locations: Vec<Option<CoreId>>,
+    locks: LockRegistry,
+    policy: Box<dyn SchedPolicy>,
+    objects: HashMap<ObjectId, ObjectDescriptor>,
+    live_threads: usize,
+    total_ops: u64,
+    next_epoch: Cycles,
+    epoch_base: MachineCounters,
+}
+
+impl Engine {
+    /// Creates an engine driving `machine` under the given policy.
+    pub fn new(machine: Machine, policy: Box<dyn SchedPolicy>, cfg: RuntimeConfig) -> Self {
+        cfg.validate().expect("invalid runtime configuration");
+        let n = machine.config().total_cores() as usize;
+        let epoch_base = machine.snapshot_counters();
+        let next_epoch = cfg.epoch_cycles;
+        Self {
+            machine,
+            cfg,
+            cores: (0..n).map(|_| CoreState::default()).collect(),
+            threads: Vec::new(),
+            locations: Vec::new(),
+            locks: LockRegistry::new(),
+            policy,
+            objects: HashMap::new(),
+            live_threads: 0,
+            total_ops: 0,
+            next_epoch,
+            epoch_base,
+        }
+    }
+
+    // ---- construction / registration --------------------------------------
+
+    /// Spawns a thread homed on `home_core` and returns its id.
+    pub fn spawn(&mut self, home_core: CoreId, behaviour: Box<dyn ThreadBehaviour>) -> ThreadId {
+        assert!(
+            (home_core as usize) < self.cores.len(),
+            "home core {home_core} out of range"
+        );
+        let id = self.threads.len();
+        self.threads.push(Thread::new(id, home_core, behaviour));
+        self.locations.push(Some(home_core));
+        self.cores[home_core as usize].run_queue.push_back(id);
+        self.live_threads += 1;
+        id
+    }
+
+    /// Registers a schedulable object (and informs the policy).
+    pub fn register_object(&mut self, desc: ObjectDescriptor) {
+        self.policy.register_object(&desc);
+        self.objects.insert(desc.id, desc);
+    }
+
+    /// Registers a spin lock whose word lives at `addr`.
+    pub fn register_lock(&mut self, addr: u64) -> LockId {
+        self.locks.register(addr)
+    }
+
+    // ---- accessors ---------------------------------------------------------
+
+    /// The simulated machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the simulated machine (e.g. to allocate memory or
+    /// prefill caches before running).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// The installed scheduling policy.
+    pub fn policy(&self) -> &dyn SchedPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Total operations completed since the engine was created.
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    /// Statistics of one thread.
+    pub fn thread_stats(&self, thread: ThreadId) -> ThreadStats {
+        self.threads[thread].stats
+    }
+
+    /// Number of threads that have not exited yet.
+    pub fn live_threads(&self) -> usize {
+        self.live_threads
+    }
+
+    /// The lock registry (contention statistics).
+    pub fn locks(&self) -> &LockRegistry {
+        &self.locks
+    }
+
+    /// Local clock of one core.
+    pub fn core_clock(&self, core: CoreId) -> Cycles {
+        self.cores[core as usize].clock
+    }
+
+    /// Largest core clock (the frontier of virtual time).
+    pub fn max_clock(&self) -> Cycles {
+        self.cores.iter().map(|c| c.clock).max().unwrap_or(0)
+    }
+
+    /// Smallest core clock.
+    pub fn min_clock(&self) -> Cycles {
+        self.cores.iter().map(|c| c.clock).min().unwrap_or(0)
+    }
+
+    // ---- running -----------------------------------------------------------
+
+    /// Runs until every core's clock reaches `limit` (or all threads exit).
+    pub fn run_until_cycles(&mut self, limit: Cycles) {
+        loop {
+            if self.live_threads == 0 {
+                break;
+            }
+            let core = self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.clock < limit)
+                .min_by_key(|(_, c)| c.clock)
+                .map(|(i, _)| i);
+            match core {
+                Some(c) => self.step_core(c, limit),
+                None => break,
+            }
+            self.maybe_epoch();
+        }
+    }
+
+    /// Runs until `n` additional operations have completed (or all threads
+    /// exit).
+    pub fn run_until_ops(&mut self, n: u64) {
+        let target = self.total_ops + n;
+        while self.total_ops < target && self.live_threads > 0 {
+            let core = self
+                .cores
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.clock)
+                .map(|(i, _)| i)
+                .expect("at least one core");
+            self.step_core(core, Cycles::MAX);
+            self.maybe_epoch();
+        }
+    }
+
+    /// Runs a measurement window of `cycles` cycles starting at the current
+    /// virtual-time frontier and returns the observed throughput.
+    pub fn run_window(&mut self, cycles: Cycles) -> RunWindow {
+        let start = self.max_clock();
+        let ops_before = self.total_ops;
+        let per_core_before: Vec<u64> = (0..self.cores.len())
+            .map(|c| self.machine.counters(c as u32).operations_completed)
+            .collect();
+        self.run_until_cycles(start + cycles);
+        let end = self.max_clock().max(start + cycles).min(
+            // If all threads exited early the frontier may be short of the
+            // limit; use the actual frontier in that case.
+            if self.live_threads == 0 {
+                self.max_clock().max(start)
+            } else {
+                start + cycles
+            },
+        );
+        let per_core_ops: Vec<u64> = (0..self.cores.len())
+            .map(|c| {
+                self.machine
+                    .counters(c as u32)
+                    .operations_completed
+                    .saturating_sub(per_core_before[c])
+            })
+            .collect();
+        RunWindow {
+            start,
+            end: end.max(start),
+            ops: self.total_ops - ops_before,
+            per_core_ops,
+            clock_ghz: self.machine.config().clock_ghz,
+        }
+    }
+
+    // ---- internals ---------------------------------------------------------
+
+    /// Advances one core by one scheduling decision or action.
+    fn step_core(&mut self, core_idx: usize, limit: Cycles) {
+        let core_id = core_idx as CoreId;
+        self.machine.set_time_hint(self.cores[core_idx].clock);
+        self.accept_inbox(core_idx);
+
+        // Pick a thread to run if the core has none.
+        if self.cores[core_idx].current.is_none() {
+            if let Some(next) = self.cores[core_idx].run_queue.pop_front() {
+                self.cores[core_idx].current = Some(next);
+                self.cores[core_idx].quantum_used = 0;
+            } else {
+                self.idle_step(core_idx, limit);
+                return;
+            }
+        }
+
+        // Round-robin rotation when the quantum is exhausted.
+        if self.cores[core_idx].quantum_used >= self.cfg.quantum_cycles
+            && !self.cores[core_idx].run_queue.is_empty()
+        {
+            let cur = self.cores[core_idx].current.take().expect("current thread");
+            self.cores[core_idx].run_queue.push_back(cur);
+            let next = self.cores[core_idx]
+                .run_queue
+                .pop_front()
+                .expect("non-empty queue");
+            self.cores[core_idx].current = Some(next);
+            self.cores[core_idx].quantum_used = 0;
+        }
+
+        let tid = self.cores[core_idx].current.expect("current thread");
+        let before = self.cores[core_idx].clock;
+
+        // Fetch the next action: deferred (lock retries, resumptions) first.
+        let action = if let Some(a) = self.threads[tid].deferred.pop_front() {
+            a
+        } else {
+            let ctx = BehaviourCtx {
+                thread: tid,
+                core: core_id,
+                home_core: self.threads[tid].home_core,
+                now: before,
+                ops_completed: self.threads[tid].stats.ops_completed,
+            };
+            self.threads[tid].behaviour.next_action(&ctx)
+        };
+        self.threads[tid].stats.actions_executed += 1;
+        self.execute(core_idx, tid, action);
+
+        let elapsed = self.cores[core_idx].clock - before;
+        self.cores[core_idx].quantum_used += elapsed;
+    }
+
+    /// Accepts migrated-in threads whose context transfer has completed.
+    fn accept_inbox(&mut self, core_idx: usize) {
+        let core_id = core_idx as CoreId;
+        let clock = self.cores[core_idx].clock;
+        let mut arrived: Vec<ThreadId> = Vec::new();
+        self.cores[core_idx].inbox.retain(|inc| {
+            if inc.ready_at <= clock {
+                arrived.push(inc.thread);
+                false
+            } else {
+                true
+            }
+        });
+        for tid in arrived {
+            // Restoring the context costs the destination core cycles.
+            let restore = self.cfg.restore_context_cycles;
+            self.cores[core_idx].clock += restore;
+            self.machine.counters_mut(core_id).busy_cycles += restore;
+            self.machine.counters_mut(core_id).migrations_in += 1;
+            let thread = &mut self.threads[tid];
+            thread.state = ThreadState::Runnable;
+            thread.stats.migration_cycles += restore;
+            // Re-capture the counter base on the executing core so misses
+            // during transit are not attributed to the object.
+            if let Some(op) = thread.current_op.as_mut() {
+                if op.counter_base_pending && op.exec_core == core_id {
+                    op.counter_base = *self.machine.counters(core_id);
+                    op.counter_base_pending = false;
+                }
+            }
+            self.locations[tid] = Some(core_id);
+            self.cores[core_idx].run_queue.push_back(tid);
+        }
+    }
+
+    /// Advances an idle core's clock.
+    fn idle_step(&mut self, core_idx: usize, limit: Cycles) {
+        let clock = self.cores[core_idx].clock;
+        let mut target = (clock + self.cfg.idle_step_cycles).min(limit);
+        if let Some(earliest) = self.cores[core_idx]
+            .inbox
+            .iter()
+            .map(|i| i.ready_at)
+            .min()
+        {
+            target = target.min(earliest.max(clock + 1));
+        }
+        if target <= clock {
+            target = clock + 1;
+        }
+        let idle = target - clock;
+        self.cores[core_idx].clock = target;
+        self.machine.counters_mut(core_idx as CoreId).idle_cycles += idle;
+    }
+
+    /// Executes one action of thread `tid` on core `core_idx`.
+    fn execute(&mut self, core_idx: usize, tid: ThreadId, action: Action) {
+        let core_id = core_idx as CoreId;
+        match action {
+            Action::Compute(n) => {
+                self.cores[core_idx].clock += n;
+                self.machine.counters_mut(core_id).busy_cycles += n;
+            }
+            Action::Read { addr, len } => {
+                let cost = self.machine.access(core_id, addr, len, AccessKind::Read);
+                self.cores[core_idx].clock += cost;
+            }
+            Action::Write { addr, len } => {
+                let cost = self.machine.access(core_id, addr, len, AccessKind::Write);
+                self.cores[core_idx].clock += cost;
+            }
+            Action::Lock(lock) => self.exec_lock(core_idx, tid, lock),
+            Action::Unlock(lock) => self.exec_unlock(core_idx, tid, lock),
+            Action::CtStart(object) => self.exec_ct_start(core_idx, tid, object),
+            Action::CtEnd => self.exec_ct_end(core_idx, tid),
+            Action::Yield => {
+                self.cores[core_idx].clock += self.cfg.yield_cycles;
+                self.machine.counters_mut(core_id).busy_cycles += self.cfg.yield_cycles;
+                if !self.cores[core_idx].run_queue.is_empty() {
+                    self.cores[core_idx].run_queue.push_back(tid);
+                    self.cores[core_idx].current = None;
+                }
+            }
+            Action::Exit => {
+                self.threads[tid].state = ThreadState::Done;
+                self.locations[tid] = None;
+                self.cores[core_idx].current = None;
+                self.live_threads -= 1;
+            }
+        }
+    }
+
+    fn exec_lock(&mut self, core_idx: usize, tid: ThreadId, lock: LockId) {
+        let core_id = core_idx as CoreId;
+        let addr = self
+            .locks
+            .info(lock)
+            .unwrap_or_else(|| panic!("thread {tid} used unregistered lock {lock}"))
+            .addr;
+        let acquired = self
+            .locks
+            .try_acquire(lock, tid)
+            .expect("lock id verified above");
+        if acquired {
+            let cost =
+                self.cfg.lock_op_cycles + self.machine.access(core_id, addr, 8, AccessKind::Write);
+            self.cores[core_idx].clock += cost;
+            self.machine.counters_mut(core_id).busy_cycles += self.cfg.lock_op_cycles;
+        } else {
+            // The lock is held by another thread.
+            let holder = self.locks.holder(lock).expect("contended lock has holder");
+            let holder_here = self.locations[holder] == Some(core_id);
+            // Retry the acquisition next time this thread runs.
+            self.threads[tid].defer_front(Action::Lock(lock));
+            if holder_here && !self.cores[core_idx].run_queue.is_empty() {
+                // Spinning would deadlock a cooperative core: yield to let
+                // the holder make progress.
+                self.cores[core_idx].clock += self.cfg.yield_cycles;
+                self.machine.counters_mut(core_id).busy_cycles += self.cfg.yield_cycles;
+                self.cores[core_idx].run_queue.push_back(tid);
+                self.cores[core_idx].current = None;
+            } else {
+                // Spin: re-read the lock word and burn the retry cost.
+                let cost = self.cfg.lock_spin_cycles
+                    + self.machine.access(core_id, addr, 8, AccessKind::Read);
+                self.cores[core_idx].clock += cost;
+                self.machine.counters_mut(core_id).busy_cycles += self.cfg.lock_spin_cycles;
+                self.threads[tid].stats.lock_wait_cycles += cost;
+            }
+        }
+    }
+
+    fn exec_unlock(&mut self, core_idx: usize, tid: ThreadId, lock: LockId) {
+        let core_id = core_idx as CoreId;
+        let addr = self
+            .locks
+            .info(lock)
+            .unwrap_or_else(|| panic!("thread {tid} used unregistered lock {lock}"))
+            .addr;
+        self.locks
+            .release(lock, tid)
+            .unwrap_or_else(|e| panic!("thread {tid} failed to release lock {lock}: {e:?}"));
+        let cost =
+            self.cfg.lock_op_cycles + self.machine.access(core_id, addr, 8, AccessKind::Write);
+        self.cores[core_idx].clock += cost;
+        self.machine.counters_mut(core_id).busy_cycles += self.cfg.lock_op_cycles;
+    }
+
+    fn exec_ct_start(&mut self, core_idx: usize, tid: ThreadId, object: ObjectId) {
+        let core_id = core_idx as CoreId;
+        assert!(
+            !self.threads[tid].in_operation(),
+            "thread {tid}: ct_start inside an operation"
+        );
+        let now = self.cores[core_idx].clock;
+        self.threads[tid].current_op = Some(OpRecord {
+            object,
+            exec_core: core_id,
+            started_at: now,
+            counter_base: *self.machine.counters(core_id),
+            counter_base_pending: false,
+            migrated: false,
+        });
+
+        let ctx = OpContext {
+            thread: tid,
+            core: core_id,
+            home_core: self.threads[tid].home_core,
+            object,
+            now,
+            machine: &self.machine,
+        };
+        let placement = self.policy.on_ct_start(&ctx);
+
+        if let Placement::On(dest) = placement {
+            let valid = (dest as usize) < self.cores.len();
+            debug_assert!(valid, "policy placed an operation on invalid core {dest}");
+            if valid && dest != core_id && self.cfg.migration_enabled {
+                if let Some(op) = self.threads[tid].current_op.as_mut() {
+                    op.exec_core = dest;
+                    op.migrated = true;
+                    op.counter_base_pending = true;
+                }
+                self.threads[tid].stats.migrations += 1;
+                self.migrate(core_idx, tid, dest);
+            }
+        }
+    }
+
+    fn exec_ct_end(&mut self, core_idx: usize, tid: ThreadId) {
+        let core_id = core_idx as CoreId;
+        let op = self.threads[tid]
+            .current_op
+            .take()
+            .unwrap_or_else(|| panic!("thread {tid}: ct_end without ct_start"));
+        let delta = self.machine.counters(core_id).delta_since(&op.counter_base);
+        let ctx = OpContext {
+            thread: tid,
+            core: core_id,
+            home_core: self.threads[tid].home_core,
+            object: op.object,
+            now: self.cores[core_idx].clock,
+            machine: &self.machine,
+        };
+        self.policy.on_ct_end(&ctx, &delta);
+
+        self.machine.counters_mut(core_id).operations_completed += 1;
+        self.threads[tid].stats.ops_completed += 1;
+        self.total_ops += 1;
+
+        // Return to the home core when the runtime is configured to do so
+        // (the paper's original design) or when a rehome command (e.g. from
+        // a thread-clustering policy) arrived while the thread was running.
+        let home = self.threads[tid].home_core;
+        let rehome = self.threads[tid].rehome_pending;
+        if (self.cfg.return_home_after_op || rehome)
+            && self.cfg.migration_enabled
+            && home != core_id
+        {
+            self.threads[tid].rehome_pending = false;
+            self.threads[tid].stats.returns_home += 1;
+            self.migrate(core_idx, tid, home);
+        } else if rehome && home == core_id {
+            self.threads[tid].rehome_pending = false;
+        }
+    }
+
+    /// Moves thread `tid` (currently running on `core_idx`) to `dest`: saves
+    /// the context, charges the transfer, and enqueues it in the
+    /// destination's migration inbox.
+    fn migrate(&mut self, core_idx: usize, tid: ThreadId, dest: CoreId) {
+        let core_id = core_idx as CoreId;
+        let save = self.cfg.save_context_cycles;
+        self.cores[core_idx].clock += save;
+        self.machine.counters_mut(core_id).busy_cycles += save;
+        self.machine.counters_mut(core_id).migrations_out += 1;
+
+        let wire = self.machine.migration_transfer(core_id, dest);
+        // Average polling delay at the destination.
+        let poll_wait = self.cfg.poll_interval_cycles / 2;
+        let ready_at = self.cores[core_idx].clock + wire + poll_wait;
+
+        let thread = &mut self.threads[tid];
+        thread.state = ThreadState::Migrating;
+        thread.stats.migration_cycles += save + wire + poll_wait;
+
+        self.locations[tid] = Some(dest);
+        self.cores[dest as usize].inbox.push(Incoming {
+            thread: tid,
+            ready_at,
+        });
+        self.cores[core_idx].current = None;
+    }
+
+    /// Fires a policy epoch when the virtual-time frontier has crossed the
+    /// next epoch boundary.
+    fn maybe_epoch(&mut self) {
+        if self.min_clock() < self.next_epoch {
+            return;
+        }
+        let snapshot = self.machine.snapshot_counters();
+        let deltas = snapshot.delta_since(&self.epoch_base);
+        let view = EpochView {
+            now: self.next_epoch,
+            machine: &self.machine,
+            deltas: &deltas,
+        };
+        let commands = self.policy.on_epoch(&view);
+        self.epoch_base = snapshot;
+        self.next_epoch += self.cfg.epoch_cycles;
+        for cmd in commands {
+            self.apply_command(cmd);
+        }
+    }
+
+    fn apply_command(&mut self, cmd: PolicyCommand) {
+        match cmd {
+            PolicyCommand::RehomeThread { thread, core } => {
+                if thread >= self.threads.len() || (core as usize) >= self.cores.len() {
+                    return;
+                }
+                if self.threads[thread].is_done() {
+                    return;
+                }
+                self.threads[thread].home_core = core;
+                // If the thread is sitting in a run queue (not currently
+                // running and not mid-migration), move it physically now;
+                // otherwise it will move at its next ct_end.
+                let loc = match self.locations[thread] {
+                    Some(l) => l,
+                    None => return,
+                };
+                if loc == core {
+                    return;
+                }
+                let loc_idx = loc as usize;
+                let running_there = self.cores[loc_idx].current == Some(thread);
+                let queued_pos = self.cores[loc_idx]
+                    .run_queue
+                    .iter()
+                    .position(|&t| t == thread);
+                if !running_there {
+                    if let Some(pos) = queued_pos {
+                        self.cores[loc_idx].run_queue.remove(pos);
+                        let ready_at = self.cores[loc_idx]
+                            .clock
+                            .max(self.cores[core as usize].clock)
+                            + self.cfg.expected_migration_cycles();
+                        self.threads[thread].state = ThreadState::Migrating;
+                        self.locations[thread] = Some(core);
+                        self.cores[core as usize].inbox.push(Incoming {
+                            thread,
+                            ready_at,
+                        });
+                    }
+                } else {
+                    // The thread is running right now: move it at its next
+                    // ct_end (the next point where its context is small).
+                    self.threads[thread].rehome_pending = true;
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("policy", &self.policy.name())
+            .field("threads", &self.threads.len())
+            .field("live_threads", &self.live_threads)
+            .field("total_ops", &self.total_ops)
+            .field("max_clock", &self.max_clock())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behaviour::{FixedBehaviour, OpBuilder, RepeatBehaviour};
+    use crate::policy::{NullPolicy, StaticPolicy};
+    use o2_sim::{ContentionModel, MachineConfig};
+
+    fn machine() -> Machine {
+        let mut cfg = MachineConfig::quad4();
+        cfg.contention = ContentionModel::None;
+        Machine::new(cfg)
+    }
+
+    fn engine(policy: Box<dyn SchedPolicy>) -> Engine {
+        Engine::new(machine(), policy, RuntimeConfig::default())
+    }
+
+    #[test]
+    fn compute_advances_the_clock() {
+        let mut e = engine(Box::new(NullPolicy));
+        e.spawn(0, Box::new(FixedBehaviour::new(vec![Action::Compute(1000)])));
+        e.run_until_cycles(10_000);
+        assert!(e.core_clock(0) >= 1000);
+        assert_eq!(e.live_threads(), 0);
+        assert_eq!(e.machine().counters(0).busy_cycles, 1000);
+    }
+
+    #[test]
+    fn memory_actions_go_through_the_machine() {
+        let mut e = engine(Box::new(NullPolicy));
+        let region = e.machine_mut().memory_mut().alloc(4096, 0);
+        e.spawn(
+            1,
+            Box::new(FixedBehaviour::new(vec![
+                Action::Read {
+                    addr: region.addr,
+                    len: 4096,
+                },
+                Action::Read {
+                    addr: region.addr,
+                    len: 4096,
+                },
+            ])),
+        );
+        e.run_until_cycles(1_000_000);
+        let ctr = e.machine().counters(1);
+        assert!(ctr.dram_loads > 0);
+        assert!(ctr.l1_hits > 0);
+    }
+
+    #[test]
+    fn annotated_ops_are_counted() {
+        let mut e = engine(Box::new(NullPolicy));
+        let op = OpBuilder::annotated(0x1000).compute(100).finish();
+        e.spawn(0, Box::new(RepeatBehaviour::new(op, Some(5))));
+        e.run_until_cycles(1_000_000);
+        assert_eq!(e.total_ops(), 5);
+        assert_eq!(e.thread_stats(0).ops_completed, 5);
+        assert_eq!(e.machine().counters(0).operations_completed, 5);
+    }
+
+    #[test]
+    fn run_until_ops_stops_at_target() {
+        let mut e = engine(Box::new(NullPolicy));
+        let op = OpBuilder::annotated(0x1000).compute(10).finish();
+        e.spawn(0, Box::new(RepeatBehaviour::new(op, None)));
+        e.run_until_ops(100);
+        assert!(e.total_ops() >= 100);
+        assert!(e.total_ops() < 110);
+    }
+
+    #[test]
+    fn static_policy_migrates_operations_and_returns_home() {
+        let mut cfg = RuntimeConfig::default();
+        cfg.return_home_after_op = true;
+        let mut e = Engine::new(
+            machine(),
+            Box::new({
+                let mut p = StaticPolicy::new();
+                p.assign(0x1000, 3);
+                p
+            }),
+            cfg,
+        );
+        let op = OpBuilder::annotated(0x1000).compute(500).finish();
+        e.spawn(0, Box::new(RepeatBehaviour::new(op, Some(4))));
+        e.run_until_cycles(10_000_000);
+        let stats = e.thread_stats(0);
+        assert_eq!(stats.ops_completed, 4);
+        assert_eq!(stats.migrations, 4);
+        assert_eq!(stats.returns_home, 4);
+        // The compute cycles of the operations landed on core 3.
+        assert!(e.machine().counters(3).busy_cycles >= 4 * 500);
+        assert_eq!(e.machine().counters(3).operations_completed, 4);
+        assert_eq!(e.machine().counters(0).operations_completed, 0);
+        assert!(e.machine().counters(0).migrations_out >= 4);
+        assert!(e.machine().counters(3).migrations_in >= 4);
+    }
+
+    #[test]
+    fn disabling_migration_keeps_operations_local() {
+        let mut p = StaticPolicy::new();
+        p.assign(0x1000, 3);
+        let mut e = Engine::new(
+            machine(),
+            Box::new(p),
+            RuntimeConfig::default().without_migration(),
+        );
+        let op = OpBuilder::annotated(0x1000).compute(500).finish();
+        e.spawn(0, Box::new(RepeatBehaviour::new(op, Some(4))));
+        e.run_until_cycles(10_000_000);
+        assert_eq!(e.thread_stats(0).migrations, 0);
+        assert_eq!(e.machine().counters(0).operations_completed, 4);
+    }
+
+    #[test]
+    fn migration_cost_is_roughly_the_papers_2000_cycles() {
+        // One op that migrates from core 0 to core 1 and back, with zero
+        // compute: the migration cycles accounted by the runtime for the
+        // round trip should land near the paper's measured 2000 cycles.
+        let mut cfg = RuntimeConfig::default();
+        cfg.return_home_after_op = true;
+        let mut p = StaticPolicy::new();
+        p.assign(0x1000, 1);
+        let mut e = Engine::new(machine(), Box::new(p), cfg);
+        let op = OpBuilder::annotated(0x1000).finish();
+        e.spawn(0, Box::new(RepeatBehaviour::new(op, Some(1))));
+        e.run_until_cycles(100_000);
+        let stats = e.thread_stats(0);
+        assert_eq!(stats.migrations, 1);
+        assert_eq!(stats.returns_home, 1);
+        let round_trip = stats.migration_cycles;
+        assert!(
+            (1400..=3000).contains(&round_trip),
+            "round-trip migration cost {round_trip} outside the expected band"
+        );
+    }
+
+    #[test]
+    fn lock_contention_across_cores_spins() {
+        let mut e = engine(Box::new(NullPolicy));
+        let lock_region = e.machine_mut().memory_mut().alloc(64, 99);
+        let lock = e.register_lock(lock_region.addr);
+        // Two threads on different cores hammer the same lock.
+        for core in 0..2 {
+            let op = OpBuilder::new()
+                .lock(lock)
+                .compute(2000)
+                .unlock(lock)
+                .build();
+            e.spawn(core, Box::new(RepeatBehaviour::new(op, Some(20))));
+        }
+        e.run_until_cycles(2_000_000);
+        assert!(e.locks().total_contention() > 0);
+        assert_eq!(e.locks().total_acquisitions(), 40);
+        let waits: u64 = (0..2).map(|t| e.thread_stats(t).lock_wait_cycles).sum();
+        assert!(waits > 0);
+    }
+
+    #[test]
+    fn same_core_lock_contention_yields_instead_of_deadlocking() {
+        let mut e = engine(Box::new(NullPolicy));
+        let lock_region = e.machine_mut().memory_mut().alloc(64, 99);
+        let lock = e.register_lock(lock_region.addr);
+        // Two threads on the SAME core share a lock; cooperative scheduling
+        // must interleave them rather than deadlock.
+        for _ in 0..2 {
+            let op = OpBuilder::new()
+                .lock(lock)
+                .compute(1000)
+                .unlock(lock)
+                .build();
+            e.spawn(0, Box::new(RepeatBehaviour::new(op, Some(10))));
+        }
+        e.run_until_cycles(10_000_000);
+        assert_eq!(e.live_threads(), 0, "threads must run to completion");
+        assert_eq!(e.locks().total_acquisitions(), 20);
+    }
+
+    #[test]
+    fn yield_rotates_threads_on_a_core() {
+        let mut e = engine(Box::new(NullPolicy));
+        let a = e.spawn(
+            0,
+            Box::new(RepeatBehaviour::new(
+                vec![Action::Compute(100), Action::Yield],
+                Some(10),
+            )),
+        );
+        let b = e.spawn(
+            0,
+            Box::new(RepeatBehaviour::new(
+                vec![Action::Compute(100), Action::Yield],
+                Some(10),
+            )),
+        );
+        e.run_until_cycles(1_000_000);
+        assert_eq!(e.thread_stats(a).actions_executed, 21);
+        assert_eq!(e.thread_stats(b).actions_executed, 21);
+        assert_eq!(e.live_threads(), 0);
+    }
+
+    #[test]
+    fn run_window_reports_throughput() {
+        let mut e = engine(Box::new(NullPolicy));
+        let op = OpBuilder::annotated(0x1000).compute(1000).finish();
+        e.spawn(0, Box::new(RepeatBehaviour::new(op, None)));
+        let w = e.run_window(1_000_000);
+        // ~1000 ops in 1M cycles (one op per ~1000 cycles).
+        assert!(w.ops > 800 && w.ops < 1100, "ops = {}", w.ops);
+        assert!(w.kops_per_second() > 0.0);
+        assert_eq!(w.per_core_ops.iter().sum::<u64>(), w.ops);
+    }
+
+    #[test]
+    fn idle_cores_accumulate_idle_cycles() {
+        let mut e = engine(Box::new(NullPolicy));
+        let op = OpBuilder::annotated(0x1).compute(100).finish();
+        e.spawn(0, Box::new(RepeatBehaviour::new(op, None)));
+        e.run_until_cycles(100_000);
+        // Cores 1-3 had no threads: all their time is idle.
+        for core in 1..4 {
+            assert!(e.machine().counters(core).idle_cycles >= 90_000);
+        }
+        assert_eq!(e.machine().counters(0).idle_cycles, 0);
+    }
+
+    #[test]
+    fn epoch_callback_fires() {
+        struct EpochCounter {
+            epochs: std::rc::Rc<std::cell::Cell<u32>>,
+        }
+        impl SchedPolicy for EpochCounter {
+            fn name(&self) -> &'static str {
+                "epoch-counter"
+            }
+            fn on_epoch(&mut self, _view: &EpochView<'_>) -> Vec<PolicyCommand> {
+                self.epochs.set(self.epochs.get() + 1);
+                Vec::new()
+            }
+        }
+        let epochs = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut cfg = RuntimeConfig::default();
+        cfg.epoch_cycles = 10_000;
+        let mut e = Engine::new(
+            machine(),
+            Box::new(EpochCounter {
+                epochs: epochs.clone(),
+            }),
+            cfg,
+        );
+        for core in 0..4 {
+            e.spawn(
+                core,
+                Box::new(RepeatBehaviour::new(vec![Action::Compute(100)], None)),
+            );
+        }
+        e.run_until_cycles(100_000);
+        assert!(epochs.get() >= 8, "epochs fired: {}", epochs.get());
+    }
+
+    #[test]
+    fn rehome_command_moves_queued_threads() {
+        struct RehomeOnce {
+            done: bool,
+        }
+        impl SchedPolicy for RehomeOnce {
+            fn name(&self) -> &'static str {
+                "rehome-once"
+            }
+            fn on_epoch(&mut self, _view: &EpochView<'_>) -> Vec<PolicyCommand> {
+                if self.done {
+                    Vec::new()
+                } else {
+                    self.done = true;
+                    vec![PolicyCommand::RehomeThread { thread: 1, core: 2 }]
+                }
+            }
+        }
+        let mut cfg = RuntimeConfig::default();
+        cfg.epoch_cycles = 5_000;
+        let mut e = Engine::new(machine(), Box::new(RehomeOnce { done: false }), cfg);
+        // Two threads on core 0; thread 1 gets rehomed to core 2.
+        for _ in 0..2 {
+            e.spawn(
+                0,
+                Box::new(RepeatBehaviour::new(
+                    vec![Action::Compute(200), Action::Yield],
+                    None,
+                )),
+            );
+        }
+        e.run_until_cycles(200_000);
+        assert!(e.machine().counters(2).busy_cycles > 0);
+        assert!(e.machine().counters(2).migrations_in >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ct_end without ct_start")]
+    fn ct_end_without_start_panics() {
+        let mut e = engine(Box::new(NullPolicy));
+        e.spawn(0, Box::new(FixedBehaviour::new(vec![Action::CtEnd])));
+        e.run_until_cycles(10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "ct_start inside an operation")]
+    fn nested_ct_start_panics() {
+        let mut e = engine(Box::new(NullPolicy));
+        e.spawn(
+            0,
+            Box::new(FixedBehaviour::new(vec![
+                Action::CtStart(1),
+                Action::CtStart(2),
+            ])),
+        );
+        e.run_until_cycles(10_000);
+    }
+
+    #[test]
+    fn determinism_same_seeded_run_twice() {
+        let run = || {
+            let mut p = StaticPolicy::new();
+            p.assign(0x1000, 2);
+            p.assign(0x2000, 3);
+            let mut e = engine(Box::new(p));
+            for core in 0..4u32 {
+                let obj = if core % 2 == 0 { 0x1000 } else { 0x2000 };
+                let op = OpBuilder::annotated(obj).compute(300).finish();
+                e.spawn(core, Box::new(RepeatBehaviour::new(op, Some(50))));
+            }
+            e.run_until_cycles(5_000_000);
+            (
+                e.total_ops(),
+                e.max_clock(),
+                e.machine().counters(2).busy_cycles,
+                e.machine().counters(3).migrations_in,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,158 @@
+//! Thread control blocks and per-thread statistics.
+
+use std::collections::VecDeque;
+
+use crate::action::Action;
+use crate::behaviour::ThreadBehaviour;
+use crate::types::{CoreId, Cycles, ObjectId, ThreadId};
+use o2_sim::CoreCounters;
+
+/// Lifecycle state of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Runnable (queued or currently running on some core).
+    Runnable,
+    /// In transit between cores: saved in the shared migration buffer,
+    /// waiting for the destination core to poll it.
+    Migrating,
+    /// Finished (`Action::Exit`).
+    Done,
+}
+
+/// The operation a thread is currently inside (between `ct_start` and
+/// `ct_end`).
+#[derive(Debug, Clone, Copy)]
+pub struct OpRecord {
+    /// The object named at `ct_start`.
+    pub object: ObjectId,
+    /// The core the operation is executing on.
+    pub exec_core: CoreId,
+    /// Local clock of the executing core when the operation began.
+    pub started_at: Cycles,
+    /// Counter snapshot of the executing core at operation start, used to
+    /// attribute cache misses to the object.
+    pub counter_base: CoreCounters,
+    /// Whether the counter base still needs to be (re)captured when the
+    /// thread lands on the executing core (set when the operation migrated).
+    pub counter_base_pending: bool,
+    /// Whether the operation was migrated away from the thread's previous
+    /// core.
+    pub migrated: bool,
+}
+
+/// Per-thread statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Operations (annotated regions) completed.
+    pub ops_completed: u64,
+    /// Operation migrations performed (outbound, at `ct_start`).
+    pub migrations: u64,
+    /// Returns to the home core after `ct_end`.
+    pub returns_home: u64,
+    /// Cycles spent waiting for spin locks.
+    pub lock_wait_cycles: u64,
+    /// Cycles spent in migration (save + transfer + poll wait + restore).
+    pub migration_cycles: u64,
+    /// Total actions executed.
+    pub actions_executed: u64,
+}
+
+/// A runtime thread: behaviour plus bookkeeping.
+pub struct Thread {
+    /// The thread's identifier.
+    pub id: ThreadId,
+    /// The core the thread considers home (where it was spawned, or where a
+    /// rehome command moved it).
+    pub home_core: CoreId,
+    /// The thread's code.
+    pub behaviour: Box<dyn ThreadBehaviour>,
+    /// Lifecycle state.
+    pub state: ThreadState,
+    /// The operation currently in progress, if any.
+    pub current_op: Option<OpRecord>,
+    /// Set when a rehome command arrived while the thread was running; the
+    /// engine moves the thread to its (new) home core at the next safe
+    /// point (`ct_end`).
+    pub rehome_pending: bool,
+    /// Actions fetched from the behaviour but not yet executed (used to
+    /// retry lock acquisitions and to resume after migration).
+    pub deferred: VecDeque<Action>,
+    /// Per-thread statistics.
+    pub stats: ThreadStats,
+}
+
+impl Thread {
+    /// Creates a runnable thread homed on `home_core`.
+    pub fn new(id: ThreadId, home_core: CoreId, behaviour: Box<dyn ThreadBehaviour>) -> Self {
+        Self {
+            id,
+            home_core,
+            behaviour,
+            state: ThreadState::Runnable,
+            current_op: None,
+            rehome_pending: false,
+            deferred: VecDeque::new(),
+            stats: ThreadStats::default(),
+        }
+    }
+
+    /// Whether the thread is inside an annotated operation.
+    pub fn in_operation(&self) -> bool {
+        self.current_op.is_some()
+    }
+
+    /// Whether the thread has exited.
+    pub fn is_done(&self) -> bool {
+        self.state == ThreadState::Done
+    }
+
+    /// Pushes an action to the front of the deferred queue (it will be the
+    /// next action executed).
+    pub fn defer_front(&mut self, action: Action) {
+        self.deferred.push_front(action);
+    }
+}
+
+impl std::fmt::Debug for Thread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Thread")
+            .field("id", &self.id)
+            .field("home_core", &self.home_core)
+            .field("state", &self.state)
+            .field("in_operation", &self.in_operation())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behaviour::FixedBehaviour;
+
+    #[test]
+    fn new_thread_is_runnable_and_not_in_op() {
+        let t = Thread::new(0, 2, Box::new(FixedBehaviour::new(vec![])));
+        assert_eq!(t.state, ThreadState::Runnable);
+        assert!(!t.in_operation());
+        assert!(!t.is_done());
+        assert_eq!(t.home_core, 2);
+    }
+
+    #[test]
+    fn defer_front_orders_actions() {
+        let mut t = Thread::new(0, 0, Box::new(FixedBehaviour::new(vec![])));
+        t.defer_front(Action::Compute(1));
+        t.defer_front(Action::Compute(2));
+        assert_eq!(t.deferred.pop_front(), Some(Action::Compute(2)));
+        assert_eq!(t.deferred.pop_front(), Some(Action::Compute(1)));
+    }
+
+    #[test]
+    fn debug_output_mentions_state() {
+        let t = Thread::new(3, 1, Box::new(FixedBehaviour::new(vec![])));
+        let s = format!("{t:?}");
+        assert!(s.contains("Runnable"));
+        assert!(s.contains("home_core"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Identifier types shared across the runtime.
+
+/// Identifies a (virtual) core. Matches the simulator's core indices.
+pub type CoreId = u32;
+
+/// Identifies a runtime thread.
+pub type ThreadId = usize;
+
+/// Identifies a schedulable object.
+///
+/// As in the paper, an object is identified by an address: `ct_start` takes
+/// "one argument that specifies the address that identifies an object".
+pub type ObjectId = u64;
+
+/// Identifies a registered spin lock.
+pub type LockId = usize;
+
+/// Virtual time, in cycles.
+pub type Cycles = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_plain_integers() {
+        let c: CoreId = 3;
+        let t: ThreadId = 7;
+        let o: ObjectId = 0x1000;
+        let l: LockId = 2;
+        let cy: Cycles = 100;
+        assert_eq!(c + 1, 4);
+        assert_eq!(t + 1, 8);
+        assert_eq!(o + 1, 0x1001);
+        assert_eq!(l + 1, 3);
+        assert_eq!(cy + 1, 101);
+    }
+}

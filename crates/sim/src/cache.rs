@@ -1,0 +1,303 @@
+//! Set-associative LRU caches at cache-line granularity.
+//!
+//! The simulator tracks *which* lines are resident in each cache so that
+//! capacity effects — the heart of the paper's argument — are modelled
+//! faithfully: a thread scheduler replicates hot data in many caches and
+//! spills the rest to DRAM, while an O2 scheduler packs distinct objects
+//! into distinct caches.
+
+use std::collections::HashMap;
+
+use crate::config::CacheGeometry;
+
+/// A cache-line address (byte address divided by the line size).
+pub type LineAddr = u64;
+
+/// One way of a cache set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Way {
+    line: LineAddr,
+    /// Monotonic timestamp of the last touch, used for LRU replacement.
+    last_use: u64,
+    dirty: bool,
+}
+
+/// A single set-associative, write-back, LRU cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    /// Sets, each holding up to `ways` entries.
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    /// Monotonic use counter for LRU ordering.
+    tick: u64,
+    /// Number of resident lines (kept in sync with `sets`).
+    resident: usize,
+    /// Reverse index from line to set, used for O(1) invalidation checks.
+    index: HashMap<LineAddr, usize>,
+}
+
+/// Result of probing a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// The line is resident.
+    Hit,
+    /// The line is not resident.
+    Miss,
+}
+
+/// A line evicted by an insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The line that was evicted.
+    pub line: LineAddr,
+    /// Whether the evicted line was dirty (had been written).
+    pub dirty: bool,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry and line size.
+    pub fn new(geometry: CacheGeometry, line_size: u64) -> Self {
+        let sets = geometry.sets(line_size) as usize;
+        let ways = geometry.associativity as usize;
+        Self {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            tick: 0,
+            resident: 0,
+            index: HashMap::new(),
+        }
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line % self.sets.len() as u64) as usize
+    }
+
+    /// Number of lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.resident
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Whether the line is currently resident (does not update LRU state).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.index.contains_key(&line)
+    }
+
+    /// Probes for a line, updating LRU state on a hit.
+    pub fn probe_and_touch(&mut self, line: LineAddr) -> Probe {
+        self.tick += 1;
+        let set_idx = self.set_of(line);
+        let tick = self.tick;
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
+            way.last_use = tick;
+            Probe::Hit
+        } else {
+            Probe::Miss
+        }
+    }
+
+    /// Marks a resident line dirty (a write hit). Returns `false` if the
+    /// line is not resident.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        let set_idx = self.set_of(line);
+        if let Some(way) = self.sets[set_idx].iter_mut().find(|w| w.line == line) {
+            way.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts a line, evicting the LRU way of its set if the set is full.
+    ///
+    /// Inserting a line that is already resident only refreshes its LRU
+    /// position and dirty bit; no eviction occurs.
+    pub fn insert(&mut self, line: LineAddr, dirty: bool) -> Option<Evicted> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_of(line);
+        let ways = self.ways;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
+            way.last_use = tick;
+            way.dirty |= dirty;
+            return None;
+        }
+
+        let mut evicted = None;
+        if set.len() >= ways {
+            // Evict the least-recently-used way of this set.
+            let (victim_idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_use)
+                .expect("non-empty set");
+            let victim = set.swap_remove(victim_idx);
+            self.index.remove(&victim.line);
+            self.resident -= 1;
+            evicted = Some(Evicted {
+                line: victim.line,
+                dirty: victim.dirty,
+            });
+        }
+
+        set.push(Way {
+            line,
+            last_use: tick,
+            dirty,
+        });
+        self.index.insert(line, set_idx);
+        self.resident += 1;
+        evicted
+    }
+
+    /// Removes a line if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let set_idx = self.index.remove(&line)?;
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|w| w.line == line)?;
+        let way = set.swap_remove(pos);
+        self.resident -= 1;
+        Some(way.dirty)
+    }
+
+    /// Removes every line from the cache.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.index.clear();
+        self.resident = 0;
+    }
+
+    /// Iterates over every resident line.
+    pub fn lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.sets.iter().flat_map(|s| s.iter().map(|w| w.line))
+    }
+
+    /// Occupancy as a fraction of capacity (0.0–1.0).
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity_lines() == 0 {
+            0.0
+        } else {
+            self.resident as f64 / self.capacity_lines() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 8 lines, 2-way: 4 sets.
+        Cache::new(CacheGeometry::new(8 * 64, 2), 64)
+    }
+
+    #[test]
+    fn insert_then_probe_hits() {
+        let mut c = small();
+        assert_eq!(c.probe_and_touch(5), Probe::Miss);
+        assert!(c.insert(5, false).is_none());
+        assert_eq!(c.probe_and_touch(5), Probe::Hit);
+        assert!(c.contains(5));
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn capacity_and_sets() {
+        let c = small();
+        assert_eq!(c.capacity_lines(), 8);
+    }
+
+    #[test]
+    fn lru_eviction_within_a_set() {
+        let mut c = small();
+        // Lines 0, 4, 8 all map to set 0 (4 sets). Two ways per set.
+        c.insert(0, false);
+        c.insert(4, false);
+        // Touch 0 so that 4 becomes the LRU victim.
+        c.probe_and_touch(0);
+        let evicted = c.insert(8, false).expect("set was full");
+        assert_eq!(evicted.line, 4);
+        assert!(c.contains(0));
+        assert!(c.contains(8));
+        assert!(!c.contains(4));
+    }
+
+    #[test]
+    fn reinserting_resident_line_does_not_evict() {
+        let mut c = small();
+        c.insert(0, false);
+        c.insert(4, false);
+        assert!(c.insert(0, true).is_none());
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    fn dirty_propagates_through_eviction() {
+        let mut c = small();
+        c.insert(0, true);
+        c.insert(4, false);
+        c.probe_and_touch(4);
+        let evicted = c.insert(8, false).unwrap();
+        assert_eq!(evicted.line, 0);
+        assert!(evicted.dirty);
+    }
+
+    #[test]
+    fn mark_dirty_only_hits_resident_lines() {
+        let mut c = small();
+        assert!(!c.mark_dirty(3));
+        c.insert(3, false);
+        assert!(c.mark_dirty(3));
+        let d = c.invalidate(3).unwrap();
+        assert!(d);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small();
+        c.insert(7, false);
+        assert_eq!(c.invalidate(7), Some(false));
+        assert_eq!(c.invalidate(7), None);
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = small();
+        for l in 0..8 {
+            c.insert(l, false);
+        }
+        assert_eq!(c.resident_lines(), 8);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_fraction() {
+        let mut c = small();
+        c.insert(1, false);
+        c.insert(2, false);
+        assert!((c.occupancy() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lines_iterator_reports_all_resident() {
+        let mut c = small();
+        c.insert(1, false);
+        c.insert(2, false);
+        c.insert(3, false);
+        let mut lines: Vec<_> = c.lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+}

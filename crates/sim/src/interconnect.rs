@@ -1,0 +1,291 @@
+//! The inter-chip interconnect: a square of four chips (or a generic mesh
+//! for other chip counts), hop-distance computation, message accounting and
+//! an optional contention model.
+//!
+//! The paper's AMD system connects four chips "by a square interconnect"
+//! that "carries cache coherence broadcasts to locate and invalidate data,
+//! as well as point-to-point transfers of cache lines". Remote latencies in
+//! the paper range from 127 cycles (same chip) to 336 cycles (most distant
+//! DRAM bank); we model the spread with hop counts.
+
+use crate::config::ContentionModel;
+
+/// Kinds of messages carried by the interconnect, tracked separately so
+/// experiments can report coherence traffic versus data traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageKind {
+    /// Broadcast probe to locate or invalidate a line.
+    CoherenceBroadcast,
+    /// Point-to-point transfer of a cache line.
+    LineTransfer,
+    /// DRAM fill crossing the interconnect.
+    DramFill,
+    /// Thread-migration context transfer.
+    Migration,
+}
+
+/// Cumulative interconnect statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterconnectStats {
+    /// Coherence broadcast messages.
+    pub coherence_broadcasts: u64,
+    /// Point-to-point line transfers.
+    pub line_transfers: u64,
+    /// DRAM fills that crossed chips.
+    pub dram_fills: u64,
+    /// Migration context transfers.
+    pub migrations: u64,
+    /// Total hop-weighted traffic (messages x hops).
+    pub hop_traffic: u64,
+    /// Extra cycles added by contention across all messages.
+    pub contention_cycles: u64,
+}
+
+impl InterconnectStats {
+    /// Total messages of all kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.coherence_broadcasts + self.line_transfers + self.dram_fills + self.migrations
+    }
+}
+
+/// The interconnect model.
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    chips: u32,
+    contention: ContentionModel,
+    stats: InterconnectStats,
+    /// Busy cycles accumulated inside the current contention window.
+    window_busy: u64,
+    /// Start of the current contention window (virtual time).
+    window_start: u64,
+    /// Utilization of the previous window (0.0–1.0).
+    last_utilization: f64,
+}
+
+impl Interconnect {
+    /// Creates an interconnect for `chips` chips.
+    pub fn new(chips: u32, contention: ContentionModel) -> Self {
+        Self {
+            chips,
+            contention,
+            stats: InterconnectStats::default(),
+            window_busy: 0,
+            window_start: 0,
+            last_utilization: 0.0,
+        }
+    }
+
+    /// Number of chips connected.
+    pub fn chips(&self) -> u32 {
+        self.chips
+    }
+
+    /// Hop distance between two chips.
+    ///
+    /// For the four-chip square of the paper the distances are 0 (same
+    /// chip), 1 (adjacent edge) or 2 (diagonal). For other chip counts a
+    /// simple ring distance is used.
+    pub fn hops(&self, from_chip: u32, to_chip: u32) -> u32 {
+        if from_chip == to_chip {
+            return 0;
+        }
+        if self.chips <= 1 {
+            return 0;
+        }
+        if self.chips == 4 {
+            // Square: chips 0-1-3-2-0 form the ring; 0<->3 and 1<->2 are
+            // diagonals (two hops).
+            let diagonal = matches!(
+                (from_chip.min(to_chip), from_chip.max(to_chip)),
+                (0, 3) | (1, 2)
+            );
+            if diagonal {
+                2
+            } else {
+                1
+            }
+        } else {
+            // Generic ring for other chip counts.
+            let d = from_chip.abs_diff(to_chip);
+            d.min(self.chips - d)
+        }
+    }
+
+    /// Maximum hop distance in this topology.
+    pub fn max_hops(&self) -> u32 {
+        if self.chips <= 1 {
+            0
+        } else if self.chips == 4 {
+            2
+        } else {
+            self.chips / 2
+        }
+    }
+
+    /// Records a message and returns the extra latency caused by
+    /// contention (0 when the contention model is disabled or the link is
+    /// lightly loaded).
+    ///
+    /// `now` is the sender's local virtual time and `busy_cycles` the base
+    /// transfer cost of the message, used to account utilization.
+    pub fn send(
+        &mut self,
+        kind: MessageKind,
+        from_chip: u32,
+        to_chip: u32,
+        now: u64,
+        busy_cycles: u64,
+    ) -> u64 {
+        let hops = self.hops(from_chip, to_chip);
+        match kind {
+            MessageKind::CoherenceBroadcast => self.stats.coherence_broadcasts += 1,
+            MessageKind::LineTransfer => self.stats.line_transfers += 1,
+            MessageKind::DramFill => self.stats.dram_fills += 1,
+            MessageKind::Migration => self.stats.migrations += 1,
+        }
+        self.stats.hop_traffic += u64::from(hops);
+
+        match self.contention {
+            ContentionModel::None => 0,
+            ContentionModel::Linear { slope, window } => {
+                // Roll the utilization window forward if needed.
+                if now >= self.window_start + window {
+                    let elapsed = (now - self.window_start).max(1);
+                    self.last_utilization =
+                        (self.window_busy as f64 / elapsed as f64).min(1.0);
+                    self.window_start = now;
+                    self.window_busy = 0;
+                }
+                if hops > 0 {
+                    self.window_busy += busy_cycles;
+                }
+                let penalty = (slope as f64 * self.last_utilization) as u64;
+                if hops > 0 && penalty > 0 {
+                    self.stats.contention_cycles += penalty;
+                    penalty
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Current interconnect statistics.
+    pub fn stats(&self) -> InterconnectStats {
+        self.stats
+    }
+
+    /// Utilization observed in the last completed accounting window.
+    pub fn utilization(&self) -> f64 {
+        self.last_utilization
+    }
+
+    /// Resets the statistics (but not the utilization window state).
+    pub fn reset_stats(&mut self) {
+        self.stats = InterconnectStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_hop_distances() {
+        let ic = Interconnect::new(4, ContentionModel::None);
+        assert_eq!(ic.hops(0, 0), 0);
+        assert_eq!(ic.hops(0, 1), 1);
+        assert_eq!(ic.hops(0, 2), 1);
+        assert_eq!(ic.hops(0, 3), 2);
+        assert_eq!(ic.hops(1, 2), 2);
+        assert_eq!(ic.hops(2, 3), 1);
+        assert_eq!(ic.hops(3, 0), 2);
+        assert_eq!(ic.max_hops(), 2);
+    }
+
+    #[test]
+    fn single_chip_has_no_hops() {
+        let ic = Interconnect::new(1, ContentionModel::None);
+        assert_eq!(ic.hops(0, 0), 0);
+        assert_eq!(ic.max_hops(), 0);
+    }
+
+    #[test]
+    fn ring_distance_for_other_chip_counts() {
+        let ic = Interconnect::new(8, ContentionModel::None);
+        assert_eq!(ic.hops(0, 1), 1);
+        assert_eq!(ic.hops(0, 4), 4);
+        assert_eq!(ic.hops(0, 7), 1);
+        assert_eq!(ic.max_hops(), 4);
+    }
+
+    #[test]
+    fn messages_are_counted_by_kind() {
+        let mut ic = Interconnect::new(4, ContentionModel::None);
+        ic.send(MessageKind::CoherenceBroadcast, 0, 1, 0, 50);
+        ic.send(MessageKind::LineTransfer, 0, 3, 10, 80);
+        ic.send(MessageKind::DramFill, 2, 2, 20, 100);
+        ic.send(MessageKind::Migration, 1, 2, 30, 60);
+        let s = ic.stats();
+        assert_eq!(s.coherence_broadcasts, 1);
+        assert_eq!(s.line_transfers, 1);
+        assert_eq!(s.dram_fills, 1);
+        assert_eq!(s.migrations, 1);
+        assert_eq!(s.total_messages(), 4);
+        // hops: 1 + 2 + 0 + 2 = 5
+        assert_eq!(s.hop_traffic, 5);
+    }
+
+    #[test]
+    fn no_contention_model_never_penalises() {
+        let mut ic = Interconnect::new(4, ContentionModel::None);
+        for i in 0..1000 {
+            assert_eq!(ic.send(MessageKind::LineTransfer, 0, 3, i, 300), 0);
+        }
+    }
+
+    #[test]
+    fn linear_contention_kicks_in_under_load() {
+        let mut ic = Interconnect::new(
+            4,
+            ContentionModel::Linear {
+                slope: 100,
+                window: 1000,
+            },
+        );
+        // Saturate the first window: 2000 busy cycles over a 1000-cycle
+        // window clamps utilization at 1.0.
+        for i in 0..20 {
+            ic.send(MessageKind::LineTransfer, 0, 1, i * 50, 100);
+        }
+        // First message of the next window sees the saturated utilization.
+        let penalty = ic.send(MessageKind::LineTransfer, 0, 1, 2000, 100);
+        assert_eq!(penalty, 100);
+        assert!(ic.utilization() >= 0.99);
+        assert!(ic.stats().contention_cycles >= 100);
+    }
+
+    #[test]
+    fn local_messages_do_not_pay_contention() {
+        let mut ic = Interconnect::new(
+            4,
+            ContentionModel::Linear {
+                slope: 100,
+                window: 100,
+            },
+        );
+        for i in 0..50 {
+            ic.send(MessageKind::LineTransfer, 0, 1, i * 10, 50);
+        }
+        let penalty = ic.send(MessageKind::LineTransfer, 2, 2, 1000, 50);
+        assert_eq!(penalty, 0);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut ic = Interconnect::new(4, ContentionModel::None);
+        ic.send(MessageKind::LineTransfer, 0, 1, 0, 10);
+        ic.reset_stats();
+        assert_eq!(ic.stats().total_messages(), 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! The latency model: converts "where was the line found" into cycles.
+//!
+//! Keeping this separate from the machine makes it easy to unit-test the
+//! cost model against the numbers quoted in Section 5 of the paper, and to
+//! sweep it for the Section 6.1 "future multicores" ablation.
+
+use crate::config::LatencyConfig;
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Hit in the requesting core's L1.
+    L1Hit,
+    /// Hit in the requesting core's L2.
+    L2Hit,
+    /// Hit in the requesting chip's shared L3.
+    L3Hit,
+    /// Served from a cache of another core.
+    RemoteCache {
+        /// Interconnect hops between the requesting chip and the owner's
+        /// chip (0 = same chip).
+        hops: u32,
+        /// Whether the access continued a sequential stream from the same
+        /// remote source (models pipelined transfers).
+        streamed: bool,
+    },
+    /// Served from DRAM.
+    Dram {
+        /// Interconnect hops between the requesting chip and the DRAM
+        /// bank's home chip.
+        hops: u32,
+        /// Whether the access continued a sequential stream (models
+        /// hardware prefetching and memory-level parallelism).
+        streamed: bool,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether the line had to be fetched from outside the requesting
+    /// core's private caches.
+    pub fn is_private_miss(&self) -> bool {
+        !matches!(self, AccessOutcome::L1Hit | AccessOutcome::L2Hit)
+    }
+
+    /// Whether the access left the requesting chip.
+    pub fn is_off_chip(&self) -> bool {
+        matches!(
+            self,
+            AccessOutcome::RemoteCache { hops, .. } if *hops > 0
+        ) || matches!(self, AccessOutcome::Dram { .. })
+    }
+
+    /// Whether the access was served by DRAM.
+    pub fn is_dram(&self) -> bool {
+        matches!(self, AccessOutcome::Dram { .. })
+    }
+}
+
+/// The latency model proper.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    cfg: LatencyConfig,
+}
+
+impl LatencyModel {
+    /// Creates a model from raw latency parameters.
+    pub fn new(cfg: LatencyConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The underlying parameters.
+    pub fn config(&self) -> &LatencyConfig {
+        &self.cfg
+    }
+
+    /// Cycles charged for an access with the given outcome.
+    pub fn cost(&self, outcome: AccessOutcome) -> u64 {
+        match outcome {
+            AccessOutcome::L1Hit => self.cfg.l1_hit,
+            AccessOutcome::L2Hit => self.cfg.l2_hit,
+            AccessOutcome::L3Hit => self.cfg.l3_hit,
+            AccessOutcome::RemoteCache { hops, streamed } => {
+                if streamed {
+                    self.cfg.remote_streamed
+                } else {
+                    match hops {
+                        0 => self.cfg.remote_cache_same_chip,
+                        1 => self.cfg.remote_cache_one_hop,
+                        _ => self.cfg.remote_cache_two_hops,
+                    }
+                }
+            }
+            AccessOutcome::Dram { hops, streamed } => {
+                if streamed {
+                    self.cfg.dram_streamed
+                } else {
+                    match hops {
+                        0 => self.cfg.dram_local,
+                        1 => self.cfg.dram_one_hop,
+                        _ => self.cfg.dram_two_hops,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cost of invalidating `copies` remote copies of a line on a write.
+    pub fn invalidation_cost(&self, copies: u64) -> u64 {
+        self.cfg.invalidate_per_copy * copies
+    }
+
+    /// The cheapest possible DRAM access (used by policies to reason about
+    /// whether migration is worthwhile without peeking at placement).
+    pub fn min_dram_cost(&self) -> u64 {
+        self.cfg.dram_streamed.min(self.cfg.dram_local)
+    }
+
+    /// The most expensive DRAM access in this model.
+    pub fn max_dram_cost(&self) -> u64 {
+        self.cfg.dram_two_hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LatencyModel {
+        LatencyModel::new(LatencyConfig::default())
+    }
+
+    #[test]
+    fn paper_latencies_are_reproduced() {
+        let m = model();
+        assert_eq!(m.cost(AccessOutcome::L1Hit), 3);
+        assert_eq!(m.cost(AccessOutcome::L2Hit), 14);
+        assert_eq!(m.cost(AccessOutcome::L3Hit), 75);
+        assert_eq!(
+            m.cost(AccessOutcome::RemoteCache {
+                hops: 0,
+                streamed: false
+            }),
+            127
+        );
+        assert_eq!(
+            m.cost(AccessOutcome::Dram {
+                hops: 2,
+                streamed: false
+            }),
+            336
+        );
+    }
+
+    #[test]
+    fn latency_ordering_matches_hierarchy() {
+        let m = model();
+        let l1 = m.cost(AccessOutcome::L1Hit);
+        let l2 = m.cost(AccessOutcome::L2Hit);
+        let l3 = m.cost(AccessOutcome::L3Hit);
+        let rc = m.cost(AccessOutcome::RemoteCache {
+            hops: 0,
+            streamed: false,
+        });
+        let dram = m.cost(AccessOutcome::Dram {
+            hops: 0,
+            streamed: false,
+        });
+        assert!(l1 < l2 && l2 < l3 && l3 < rc && rc < dram);
+    }
+
+    #[test]
+    fn streamed_accesses_are_cheaper() {
+        let m = model();
+        let cold = m.cost(AccessOutcome::Dram {
+            hops: 2,
+            streamed: false,
+        });
+        let warm = m.cost(AccessOutcome::Dram {
+            hops: 2,
+            streamed: true,
+        });
+        assert!(warm < cold);
+        let cold_rc = m.cost(AccessOutcome::RemoteCache {
+            hops: 1,
+            streamed: false,
+        });
+        let warm_rc = m.cost(AccessOutcome::RemoteCache {
+            hops: 1,
+            streamed: true,
+        });
+        assert!(warm_rc < cold_rc);
+    }
+
+    #[test]
+    fn hop_count_increases_cost() {
+        let m = model();
+        let d0 = m.cost(AccessOutcome::Dram {
+            hops: 0,
+            streamed: false,
+        });
+        let d1 = m.cost(AccessOutcome::Dram {
+            hops: 1,
+            streamed: false,
+        });
+        let d2 = m.cost(AccessOutcome::Dram {
+            hops: 2,
+            streamed: false,
+        });
+        assert!(d0 < d1 && d1 < d2);
+    }
+
+    #[test]
+    fn outcome_classification_helpers() {
+        assert!(!AccessOutcome::L1Hit.is_private_miss());
+        assert!(!AccessOutcome::L2Hit.is_private_miss());
+        assert!(AccessOutcome::L3Hit.is_private_miss());
+        assert!(!AccessOutcome::L3Hit.is_off_chip());
+        assert!(AccessOutcome::Dram {
+            hops: 0,
+            streamed: false
+        }
+        .is_dram());
+        assert!(AccessOutcome::RemoteCache {
+            hops: 1,
+            streamed: false
+        }
+        .is_off_chip());
+        assert!(!AccessOutcome::RemoteCache {
+            hops: 0,
+            streamed: false
+        }
+        .is_off_chip());
+    }
+
+    #[test]
+    fn invalidation_cost_scales_with_copies() {
+        let m = model();
+        assert_eq!(m.invalidation_cost(0), 0);
+        assert_eq!(m.invalidation_cost(3), 60);
+    }
+
+    #[test]
+    fn min_max_dram_bounds() {
+        let m = model();
+        assert!(m.min_dram_cost() <= m.max_dram_cost());
+        assert_eq!(m.max_dram_cost(), 336);
+    }
+}

@@ -1,0 +1,262 @@
+//! Mapping cache contents back to application objects.
+//!
+//! Figure 2 of the paper shows *which directories* are resident in which
+//! cache under a thread scheduler versus an O2 scheduler. This module
+//! answers that question for any set of labelled address regions: given the
+//! regions, it reports for every cache which objects are (partially)
+//! resident and which objects are effectively off-chip.
+
+use std::collections::HashMap;
+
+use crate::machine::Machine;
+use crate::memory::Region;
+
+/// How much of one object is resident in one cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Residency {
+    /// The object's label (e.g. directory index).
+    pub label: u64,
+    /// Lines of the object resident in the cache.
+    pub lines_resident: u64,
+    /// Total lines the object occupies.
+    pub lines_total: u64,
+}
+
+impl Residency {
+    /// Resident fraction (0.0–1.0).
+    pub fn fraction(&self) -> f64 {
+        if self.lines_total == 0 {
+            0.0
+        } else {
+            self.lines_resident as f64 / self.lines_total as f64
+        }
+    }
+}
+
+/// A snapshot of object residency across the whole machine.
+#[derive(Debug, Clone, Default)]
+pub struct OccupancySnapshot {
+    /// Per-core residency in private caches (L1+L2), indexed by core.
+    pub private: Vec<Vec<Residency>>,
+    /// Per-chip residency in the shared L3, indexed by chip.
+    pub l3: Vec<Vec<Residency>>,
+    /// Labels of objects with less than `on_chip_threshold` of their lines
+    /// resident in any cache (the "off-chip" box of Figure 2).
+    pub off_chip: Vec<u64>,
+    /// Fraction of an object's lines that must be cached somewhere for the
+    /// object to count as on-chip.
+    pub on_chip_threshold: f64,
+}
+
+impl OccupancySnapshot {
+    /// Objects at least half-resident in the given core's private caches.
+    pub fn resident_in_core(&self, core: u32) -> Vec<u64> {
+        self.private[core as usize]
+            .iter()
+            .filter(|r| r.fraction() >= 0.5)
+            .map(|r| r.label)
+            .collect()
+    }
+
+    /// Objects at least half-resident in the given chip's L3.
+    pub fn resident_in_l3(&self, chip: u32) -> Vec<u64> {
+        self.l3[chip as usize]
+            .iter()
+            .filter(|r| r.fraction() >= 0.5)
+            .map(|r| r.label)
+            .collect()
+    }
+
+    /// Number of distinct objects that are on-chip somewhere.
+    pub fn distinct_on_chip(&self) -> usize {
+        let mut labels: Vec<u64> = self
+            .private
+            .iter()
+            .flatten()
+            .chain(self.l3.iter().flatten())
+            .filter(|r| r.lines_resident > 0)
+            .map(|r| r.label)
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+
+    /// Total copies of object lines held on chip, divided by the number of
+    /// distinct object lines held on chip: 1.0 means no duplication, higher
+    /// values mean the same data is replicated in several caches.
+    pub fn duplication_factor(&self) -> f64 {
+        let mut per_label_copies: HashMap<u64, u64> = HashMap::new();
+        let mut per_label_distinct: HashMap<u64, u64> = HashMap::new();
+        for r in self.private.iter().flatten().chain(self.l3.iter().flatten()) {
+            *per_label_copies.entry(r.label).or_insert(0) += r.lines_resident;
+            let d = per_label_distinct.entry(r.label).or_insert(0);
+            *d = (*d).max(r.lines_resident);
+        }
+        let copies: u64 = per_label_copies.values().sum();
+        let distinct: u64 = per_label_distinct.values().sum();
+        if distinct == 0 {
+            0.0
+        } else {
+            copies as f64 / distinct as f64
+        }
+    }
+}
+
+/// Computes the residency of each labelled region in each cache.
+pub fn snapshot(machine: &Machine, regions: &[Region]) -> OccupancySnapshot {
+    snapshot_with_threshold(machine, regions, 0.5)
+}
+
+/// Like [`snapshot`] but with an explicit on-chip threshold.
+pub fn snapshot_with_threshold(
+    machine: &Machine,
+    regions: &[Region],
+    on_chip_threshold: f64,
+) -> OccupancySnapshot {
+    let cfg = machine.config();
+    let line = cfg.line_size;
+    let cores = cfg.total_cores();
+    let chips = cfg.chips;
+
+    let lines_of = |r: &Region| -> (u64, u64) {
+        let first = r.addr / line;
+        let last = (r.addr + r.size - 1) / line;
+        (first, last)
+    };
+
+    let mut private = Vec::with_capacity(cores as usize);
+    for core in 0..cores {
+        let mut per_obj = Vec::with_capacity(regions.len());
+        for r in regions {
+            let (first, last) = lines_of(r);
+            let resident = (first..=last)
+                .filter(|&l| machine.in_private_cache(core, l))
+                .count() as u64;
+            per_obj.push(Residency {
+                label: r.label,
+                lines_resident: resident,
+                lines_total: last - first + 1,
+            });
+        }
+        private.push(per_obj);
+    }
+
+    let mut l3 = Vec::with_capacity(chips as usize);
+    for chip in 0..chips {
+        let mut per_obj = Vec::with_capacity(regions.len());
+        for r in regions {
+            let (first, last) = lines_of(r);
+            let resident = (first..=last)
+                .filter(|&l| machine.in_l3(chip, l))
+                .count() as u64;
+            per_obj.push(Residency {
+                label: r.label,
+                lines_resident: resident,
+                lines_total: last - first + 1,
+            });
+        }
+        l3.push(per_obj);
+    }
+
+    // An object is off-chip if no cache holds at least the threshold
+    // fraction of it, mirroring the "off-chip" box in Figure 2.
+    let mut off_chip = Vec::new();
+    for (idx, r) in regions.iter().enumerate() {
+        let best_private = private
+            .iter()
+            .map(|cores| cores[idx].fraction())
+            .fold(0.0f64, f64::max);
+        let best_l3 = l3
+            .iter()
+            .map(|chips| chips[idx].fraction())
+            .fold(0.0f64, f64::max);
+        if best_private.max(best_l3) < on_chip_threshold {
+            off_chip.push(r.label);
+        }
+    }
+
+    OccupancySnapshot {
+        private,
+        l3,
+        off_chip,
+        on_chip_threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::machine::AccessKind;
+
+    fn quad() -> Machine {
+        let mut cfg = MachineConfig::quad4();
+        cfg.contention = crate::config::ContentionModel::None;
+        Machine::new(cfg)
+    }
+
+    #[test]
+    fn touched_object_is_resident_in_the_touching_core() {
+        let mut m = quad();
+        let r0 = m.memory_mut().alloc(32 * 1024, 0);
+        let r1 = m.memory_mut().alloc(32 * 1024, 1);
+        m.access(0, r0.addr, r0.size, AccessKind::Read);
+        let snap = snapshot(&m, &[r0, r1]);
+        assert_eq!(snap.resident_in_core(0), vec![0]);
+        assert!(snap.resident_in_core(1).is_empty());
+        assert_eq!(snap.off_chip, vec![1]);
+        assert_eq!(snap.distinct_on_chip(), 1);
+    }
+
+    #[test]
+    fn duplication_factor_detects_replication() {
+        let mut m = quad();
+        let r = m.memory_mut().alloc(32 * 1024, 7);
+        // All four cores read the same object: four private copies.
+        for core in 0..4 {
+            m.access(core, r.addr, r.size, AccessKind::Read);
+        }
+        let snap = snapshot(&m, &[r]);
+        assert!(snap.duplication_factor() > 2.0);
+        // Every core sees the object as resident.
+        for core in 0..4 {
+            assert_eq!(snap.resident_in_core(core), vec![7]);
+        }
+    }
+
+    #[test]
+    fn partitioned_objects_have_no_duplication() {
+        let mut m = quad();
+        let regions: Vec<_> = (0..4).map(|i| m.memory_mut().alloc(32 * 1024, i)).collect();
+        for (core, r) in regions.iter().enumerate() {
+            m.access(core as u32, r.addr, r.size, AccessKind::Read);
+        }
+        let snap = snapshot(&m, &regions);
+        assert!((snap.duplication_factor() - 1.0).abs() < 0.05);
+        assert_eq!(snap.distinct_on_chip(), 4);
+        assert!(snap.off_chip.is_empty());
+    }
+
+    #[test]
+    fn residency_fraction_handles_empty_objects() {
+        let r = Residency {
+            label: 0,
+            lines_resident: 0,
+            lines_total: 0,
+        };
+        assert_eq!(r.fraction(), 0.0);
+    }
+
+    #[test]
+    fn threshold_controls_off_chip_classification() {
+        let mut m = quad();
+        let r = m.memory_mut().alloc(64 * 1024, 3);
+        // Touch only the first quarter of the object.
+        m.access(0, r.addr, 16 * 1024, AccessKind::Read);
+        let strict = snapshot_with_threshold(&m, &[r], 0.9);
+        assert_eq!(strict.off_chip, vec![3]);
+        let loose = snapshot_with_threshold(&m, &[r], 0.1);
+        assert!(loose.off_chip.is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! A bounded trace of recent memory accesses, useful for debugging
+//! workloads and for asserting access patterns in tests.
+
+use std::collections::VecDeque;
+
+use crate::latency::AccessOutcome;
+use crate::machine::AccessKind;
+use crate::memory::Addr;
+
+/// One recorded access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Core that issued the access.
+    pub core: u32,
+    /// Byte address accessed.
+    pub addr: Addr,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Where the access was satisfied.
+    pub outcome: AccessOutcome,
+    /// Cycles charged.
+    pub cost: u64,
+}
+
+/// A fixed-capacity ring buffer of [`TraceEntry`] values.
+#[derive(Debug, Clone)]
+pub struct AccessTrace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    total_recorded: u64,
+    enabled: bool,
+}
+
+impl AccessTrace {
+    /// Creates a trace that keeps the most recent `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            total_recorded: 0,
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled trace that records nothing (zero overhead).
+    pub fn disabled() -> Self {
+        Self {
+            entries: VecDeque::new(),
+            capacity: 0,
+            total_recorded: 0,
+            enabled: false,
+        }
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Records an access (drops the oldest entry when full).
+    pub fn record(&mut self, entry: TraceEntry) {
+        if !self.enabled || self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
+        self.total_recorded += 1;
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of entries currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of accesses recorded since creation (including ones
+    /// that have since been dropped from the ring).
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// Drops all retained entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of retained entries that were satisfied by DRAM.
+    pub fn dram_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.outcome.is_dram()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(core: u32, addr: Addr, dram: bool) -> TraceEntry {
+        TraceEntry {
+            core,
+            addr,
+            kind: AccessKind::Read,
+            outcome: if dram {
+                AccessOutcome::Dram {
+                    hops: 0,
+                    streamed: false,
+                }
+            } else {
+                AccessOutcome::L1Hit
+            },
+            cost: if dram { 230 } else { 3 },
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut t = AccessTrace::new(8);
+        t.record(entry(0, 0x100, false));
+        t.record(entry(1, 0x200, true));
+        let v: Vec<_> = t.entries().collect();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].addr, 0x100);
+        assert_eq!(v[1].addr, 0x200);
+        assert_eq!(t.dram_count(), 1);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut t = AccessTrace::new(3);
+        for i in 0..5 {
+            t.record(entry(0, i * 64, false));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_recorded(), 5);
+        let first = t.entries().next().unwrap();
+        assert_eq!(first.addr, 2 * 64);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = AccessTrace::disabled();
+        t.record(entry(0, 0, true));
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+        assert_eq!(t.total_recorded(), 0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_total() {
+        let mut t = AccessTrace::new(4);
+        t.record(entry(0, 0, false));
+        t.record(entry(0, 64, false));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.total_recorded(), 2);
+    }
+
+    #[test]
+    fn toggling_enabled_stops_and_resumes_recording() {
+        let mut t = AccessTrace::new(4);
+        t.set_enabled(false);
+        t.record(entry(0, 0, false));
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.record(entry(0, 64, false));
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! The directory-lookup thread behaviour: the Rust equivalent of the
+//! pseudo-code in Figures 1 and 3 of the paper.
+//!
+//! Each thread loops forever (or for a bounded number of operations):
+//! pick a random directory, pick a random file name, and search the
+//! directory for the file inside a `ct_start`/`ct_end` annotated,
+//! spin-lock protected operation.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use o2_fs::{lookup_actions, DirectoryHandle, LookupCost, DIRENT_SIZE};
+use o2_runtime::{Action, BehaviourCtx, LockId, OpGenerator};
+
+use crate::distribution::DirChooser;
+
+/// Shared, immutable description of the benchmark directories.
+#[derive(Debug)]
+pub struct DirectorySet {
+    /// The mapped directory handles.
+    pub dirs: Vec<DirectoryHandle>,
+    /// The runtime lock id guarding each directory.
+    pub locks: Vec<LockId>,
+}
+
+impl DirectorySet {
+    /// Number of directories.
+    pub fn len(&self) -> usize {
+        self.dirs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dirs.is_empty()
+    }
+}
+
+/// The per-thread lookup generator.
+pub struct DirectoryLookupGen {
+    dirs: Rc<DirectorySet>,
+    chooser: DirChooser,
+    cost: LookupCost,
+    write_fraction: f64,
+    rng: StdRng,
+    ops_generated: u64,
+    max_ops: Option<u64>,
+}
+
+impl DirectoryLookupGen {
+    /// Creates a generator over a directory set.
+    ///
+    /// `max_ops` bounds the number of operations (use `None` for the
+    /// paper's endless loop, terminated by the measurement window).
+    pub fn new(
+        dirs: Rc<DirectorySet>,
+        chooser: DirChooser,
+        cost: LookupCost,
+        write_fraction: f64,
+        seed: u64,
+        max_ops: Option<u64>,
+    ) -> Self {
+        Self {
+            dirs,
+            chooser,
+            cost,
+            write_fraction,
+            rng: StdRng::seed_from_u64(seed),
+            ops_generated: 0,
+            max_ops,
+        }
+    }
+
+    /// Operations generated so far.
+    pub fn ops_generated(&self) -> u64 {
+        self.ops_generated
+    }
+}
+
+impl OpGenerator for DirectoryLookupGen {
+    fn next_op(&mut self, _ctx: &BehaviourCtx) -> Vec<Action> {
+        if let Some(max) = self.max_ops {
+            if self.ops_generated >= max {
+                return Vec::new();
+            }
+        }
+        if self.dirs.is_empty() {
+            return Vec::new();
+        }
+        let dir_idx = self.chooser.choose(&mut self.rng, self.ops_generated) as usize;
+        let dir = &self.dirs.dirs[dir_idx];
+        let lock = self.dirs.locks[dir_idx];
+        // dir = random_dir(); file = random_file();
+        let entry = self.rng.gen_range(0..dir.entry_count);
+        let mut actions = lookup_actions(dir, lock, entry, &self.cost);
+        // Optionally update the entry that was found (a read-write variant
+        // of the benchmark used to exercise coherence traffic).
+        if self.write_fraction > 0.0 && self.rng.gen::<f64>() < self.write_fraction {
+            let write = Action::Write {
+                addr: dir.entry_addr(entry),
+                len: DIRENT_SIZE as u64,
+            };
+            // Insert the write just before the unlock (second-to-last slot
+            // is the unlock, last is ct_end).
+            let insert_at = actions.len().saturating_sub(2);
+            actions.insert(insert_at, write);
+        }
+        self.ops_generated += 1;
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Popularity;
+    use o2_fs::Volume;
+    use o2_sim::SimMemory;
+
+    fn directory_set(n_dirs: u32) -> Rc<DirectorySet> {
+        let mut v = Volume::build_benchmark(n_dirs, 100).unwrap();
+        let mut mem = SimMemory::new(4, 64);
+        v.map_into(&mut mem);
+        Rc::new(DirectorySet {
+            dirs: v.directories().to_vec(),
+            locks: (0..n_dirs as usize).collect(),
+        })
+    }
+
+    fn ctx() -> BehaviourCtx {
+        BehaviourCtx {
+            thread: 0,
+            core: 0,
+            home_core: 0,
+            now: 0,
+            ops_completed: 0,
+        }
+    }
+
+    #[test]
+    fn generates_annotated_lock_protected_lookups() {
+        let dirs = directory_set(4);
+        let mut gen = DirectoryLookupGen::new(
+            dirs,
+            DirChooser::new(4, Popularity::Uniform),
+            LookupCost::default(),
+            0.0,
+            1,
+            Some(10),
+        );
+        for _ in 0..10 {
+            let op = gen.next_op(&ctx());
+            assert!(matches!(op.first(), Some(Action::CtStart(_))));
+            assert!(matches!(op.last(), Some(Action::CtEnd)));
+            assert!(op.iter().any(|a| matches!(a, Action::Lock(_))));
+            assert!(op.iter().any(|a| matches!(a, Action::Unlock(_))));
+            assert!(op.iter().any(|a| matches!(a, Action::Read { .. })));
+            assert!(!op.iter().any(|a| matches!(a, Action::Write { .. })));
+        }
+        // Bounded generator terminates.
+        assert!(gen.next_op(&ctx()).is_empty());
+        assert_eq!(gen.ops_generated(), 10);
+    }
+
+    #[test]
+    fn write_fraction_one_always_updates_the_entry() {
+        let dirs = directory_set(2);
+        let mut gen = DirectoryLookupGen::new(
+            dirs,
+            DirChooser::new(2, Popularity::Uniform),
+            LookupCost::default(),
+            1.0,
+            2,
+            Some(5),
+        );
+        for _ in 0..5 {
+            let op = gen.next_op(&ctx());
+            let write_pos = op
+                .iter()
+                .position(|a| matches!(a, Action::Write { .. }))
+                .expect("write present");
+            let unlock_pos = op
+                .iter()
+                .position(|a| matches!(a, Action::Unlock(_)))
+                .unwrap();
+            assert!(write_pos < unlock_pos, "write must happen under the lock");
+        }
+    }
+
+    #[test]
+    fn object_ids_match_the_chosen_directory() {
+        let dirs = directory_set(8);
+        let valid_ids: Vec<u64> = dirs.dirs.iter().map(|d| d.object_id()).collect();
+        let mut gen = DirectoryLookupGen::new(
+            dirs,
+            DirChooser::new(8, Popularity::Uniform),
+            LookupCost::default(),
+            0.0,
+            3,
+            Some(50),
+        );
+        for _ in 0..50 {
+            let op = gen.next_op(&ctx());
+            match op[0] {
+                Action::CtStart(obj) => assert!(valid_ids.contains(&obj)),
+                ref other => panic!("expected ct_start, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_generates_identical_streams() {
+        let make = |seed| {
+            let dirs = directory_set(4);
+            let mut gen = DirectoryLookupGen::new(
+                dirs,
+                DirChooser::new(4, Popularity::Uniform),
+                LookupCost::default(),
+                0.0,
+                seed,
+                Some(20),
+            );
+            (0..20).map(|_| gen.next_op(&ctx())).collect::<Vec<_>>()
+        };
+        assert_eq!(make(5), make(5));
+        assert_ne!(make(5), make(6));
+    }
+}

@@ -1,0 +1,208 @@
+//! Directory-popularity distributions.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::spec::Popularity;
+
+/// A stateful per-thread directory chooser.
+#[derive(Debug, Clone)]
+pub struct DirChooser {
+    n_dirs: u32,
+    popularity: Popularity,
+    /// Precomputed CDF for Zipf distributions.
+    zipf_cdf: Vec<f64>,
+}
+
+impl DirChooser {
+    /// Creates a chooser over `n_dirs` directories.
+    pub fn new(n_dirs: u32, popularity: Popularity) -> Self {
+        let n_dirs = n_dirs.max(1);
+        let zipf_cdf = match popularity {
+            Popularity::Zipf { exponent } => {
+                let weights: Vec<f64> = (1..=n_dirs)
+                    .map(|k| 1.0 / (k as f64).powf(exponent))
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                let mut acc = 0.0;
+                weights
+                    .iter()
+                    .map(|w| {
+                        acc += w / total;
+                        acc
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+        Self {
+            n_dirs,
+            popularity,
+            zipf_cdf,
+        }
+    }
+
+    /// Number of directories covered.
+    pub fn n_dirs(&self) -> u32 {
+        self.n_dirs
+    }
+
+    /// The set of directories that can be chosen at the given per-thread
+    /// operation count (only the oscillating distribution varies over time).
+    pub fn active_range(&self, ops_completed: u64) -> (u32, u32) {
+        match self.popularity {
+            Popularity::Oscillating {
+                period_ops,
+                shrink_factor,
+            } => {
+                let phase = ops_completed / period_ops.max(1);
+                if phase % 2 == 0 {
+                    (0, self.n_dirs)
+                } else {
+                    // Low phase: a rotating window of n/shrink directories,
+                    // so the scheduler has to follow the active set.
+                    let width = (self.n_dirs / shrink_factor.max(1)).max(1);
+                    let start = ((phase / 2) * u64::from(width)) % u64::from(self.n_dirs);
+                    (start as u32, width)
+                }
+            }
+            _ => (0, self.n_dirs),
+        }
+    }
+
+    /// Chooses a directory index for an operation.
+    pub fn choose(&self, rng: &mut StdRng, ops_completed: u64) -> u32 {
+        match self.popularity {
+            Popularity::Uniform => rng.gen_range(0..self.n_dirs),
+            Popularity::Oscillating { .. } => {
+                let (start, width) = self.active_range(ops_completed);
+                (start + rng.gen_range(0..width)) % self.n_dirs
+            }
+            Popularity::Zipf { .. } => {
+                let u: f64 = rng.gen();
+                match self
+                    .zipf_cdf
+                    .iter()
+                    .position(|&c| u <= c)
+                {
+                    Some(i) => i as u32,
+                    None => self.n_dirs - 1,
+                }
+            }
+            Popularity::Hotspot {
+                hot_dirs,
+                hot_fraction,
+            } => {
+                let hot = hot_dirs.min(self.n_dirs).max(1);
+                if rng.gen::<f64>() < hot_fraction {
+                    rng.gen_range(0..hot)
+                } else if hot < self.n_dirs {
+                    rng.gen_range(hot..self.n_dirs)
+                } else {
+                    rng.gen_range(0..self.n_dirs)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn histogram(chooser: &DirChooser, samples: u64, ops: u64) -> Vec<u64> {
+        let mut rng = rng();
+        let mut h = vec![0u64; chooser.n_dirs() as usize];
+        for _ in 0..samples {
+            h[chooser.choose(&mut rng, ops) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_covers_all_directories_evenly() {
+        let c = DirChooser::new(16, Popularity::Uniform);
+        let h = histogram(&c, 16_000, 0);
+        assert!(h.iter().all(|&count| count > 600 && count < 1400));
+    }
+
+    #[test]
+    fn oscillating_shrinks_the_active_set_in_odd_phases() {
+        let c = DirChooser::new(64, Popularity::Oscillating {
+            period_ops: 100,
+            shrink_factor: 16,
+        });
+        // Phase 0 (ops 0..100): full range.
+        assert_eq!(c.active_range(50), (0, 64));
+        // Phase 1 (ops 100..200): 4 directories.
+        let (start, width) = c.active_range(150);
+        assert_eq!(width, 4);
+        assert_eq!(start, 0);
+        // The next low phase uses a different window.
+        let (start2, width2) = c.active_range(350);
+        assert_eq!(width2, 4);
+        assert_ne!(start2, start);
+        // Samples during a low phase stay inside the window.
+        let h = histogram(&c, 4_000, 150);
+        let inside: u64 = h[0..4].iter().sum();
+        assert_eq!(inside, 4_000);
+    }
+
+    #[test]
+    fn zipf_is_heavily_skewed_towards_low_indices() {
+        let c = DirChooser::new(100, Popularity::Zipf { exponent: 1.2 });
+        let h = histogram(&c, 50_000, 0);
+        assert!(h[0] > h[10] && h[10] > h[50]);
+        // The head captures a large share of the traffic.
+        let head: u64 = h[0..10].iter().sum();
+        assert!(head > 25_000, "zipf head too small: {head}");
+    }
+
+    #[test]
+    fn hotspot_sends_the_requested_fraction_to_hot_dirs() {
+        let c = DirChooser::new(50, Popularity::Hotspot {
+            hot_dirs: 2,
+            hot_fraction: 0.8,
+        });
+        let h = histogram(&c, 20_000, 0);
+        let hot: u64 = h[0..2].iter().sum();
+        assert!(hot > 15_000 && hot < 17_500, "hot share {hot}");
+    }
+
+    #[test]
+    fn single_directory_never_panics() {
+        let mut r = rng();
+        let c = DirChooser::new(1, Popularity::Uniform);
+        for ops in 0..100 {
+            assert_eq!(c.choose(&mut r, ops), 0);
+        }
+        let c = DirChooser::new(1, Popularity::Oscillating {
+            period_ops: 10,
+            shrink_factor: 16,
+        });
+        for ops in 0..100 {
+            assert_eq!(c.choose(&mut r, ops), 0);
+        }
+        let c = DirChooser::new(1, Popularity::Hotspot {
+            hot_dirs: 5,
+            hot_fraction: 0.9,
+        });
+        assert_eq!(c.choose(&mut r, 0), 0);
+    }
+
+    #[test]
+    fn choices_are_deterministic_for_a_fixed_seed() {
+        let c = DirChooser::new(32, Popularity::Uniform);
+        let seq = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|i| c.choose(&mut rng, i)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(9), seq(9));
+        assert_ne!(seq(9), seq(10));
+    }
+}

@@ -1,0 +1,191 @@
+//! A web-server-like workload: multi-component path resolution.
+//!
+//! The paper motivates the directory-lookup benchmark with web servers,
+//! citing Veal and Foong's study of multicore web-server scalability:
+//! serving a request means resolving a path like `/a/b/index.html`, i.e.
+//! several directory lookups in sequence. This generator models that:
+//! each "request" resolves a path of several components, walking from a
+//! small set of hot top-level directories into a large set of leaf
+//! directories. Consecutive lookups within one request touch different
+//! objects, which is exactly the access pattern that benefits from the
+//! object-clustering extension (Section 6.2).
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use o2_fs::{lookup_actions, LookupCost};
+use o2_runtime::{Action, BehaviourCtx, OpGenerator};
+
+use crate::behaviour::DirectorySet;
+
+/// Per-thread generator of path-resolution "requests".
+pub struct PathLookupGen {
+    dirs: Rc<DirectorySet>,
+    cost: LookupCost,
+    /// Number of directories treated as top-level (hot) directories.
+    top_level_dirs: u32,
+    /// Components per path (lookups per request).
+    components: u32,
+    rng: StdRng,
+    max_requests: Option<u64>,
+    requests: u64,
+    /// Remaining lookups of the request in progress: (dir index, entry).
+    pending: Vec<(u32, u32)>,
+}
+
+impl PathLookupGen {
+    /// Creates a generator resolving `components`-deep paths, with the
+    /// first `top_level_dirs` directories acting as the hot root set.
+    pub fn new(
+        dirs: Rc<DirectorySet>,
+        cost: LookupCost,
+        top_level_dirs: u32,
+        components: u32,
+        seed: u64,
+        max_requests: Option<u64>,
+    ) -> Self {
+        Self {
+            top_level_dirs: top_level_dirs.max(1),
+            components: components.max(1),
+            dirs,
+            cost,
+            rng: StdRng::seed_from_u64(seed),
+            max_requests,
+            requests: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Requests fully generated so far.
+    pub fn requests_generated(&self) -> u64 {
+        self.requests
+    }
+
+    fn plan_request(&mut self) {
+        let n = self.dirs.len() as u32;
+        let top = self.top_level_dirs.min(n);
+        self.pending.clear();
+        for level in 0..self.components {
+            let dir = if level == 0 {
+                self.rng.gen_range(0..top)
+            } else if top < n {
+                self.rng.gen_range(top..n)
+            } else {
+                self.rng.gen_range(0..n)
+            };
+            let entries = self.dirs.dirs[dir as usize].entry_count;
+            let entry = self.rng.gen_range(0..entries);
+            self.pending.push((dir, entry));
+        }
+        // The walk resolves components root-first.
+        self.pending.reverse();
+        self.requests += 1;
+    }
+}
+
+impl OpGenerator for PathLookupGen {
+    fn next_op(&mut self, _ctx: &BehaviourCtx) -> Vec<Action> {
+        if self.dirs.is_empty() {
+            return Vec::new();
+        }
+        if self.pending.is_empty() {
+            if let Some(max) = self.max_requests {
+                if self.requests >= max {
+                    return Vec::new();
+                }
+            }
+            self.plan_request();
+        }
+        let (dir_idx, entry) = self.pending.pop().expect("planned request");
+        let dir = &self.dirs.dirs[dir_idx as usize];
+        let lock = self.dirs.locks[dir_idx as usize];
+        lookup_actions(dir, lock, entry, &self.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2_fs::Volume;
+    use o2_sim::SimMemory;
+
+    fn dirs(n: u32) -> Rc<DirectorySet> {
+        let mut v = Volume::build_benchmark(n, 50).unwrap();
+        let mut mem = SimMemory::new(4, 64);
+        v.map_into(&mut mem);
+        Rc::new(DirectorySet {
+            dirs: v.directories().to_vec(),
+            locks: (0..n as usize).collect(),
+        })
+    }
+
+    fn ctx() -> BehaviourCtx {
+        BehaviourCtx {
+            thread: 0,
+            core: 0,
+            home_core: 0,
+            now: 0,
+            ops_completed: 0,
+        }
+    }
+
+    #[test]
+    fn each_request_produces_one_op_per_component() {
+        let set = dirs(16);
+        let mut gen = PathLookupGen::new(set, LookupCost::default(), 4, 3, 1, Some(5));
+        let mut ops = 0;
+        loop {
+            let op = gen.next_op(&ctx());
+            if op.is_empty() {
+                break;
+            }
+            assert!(matches!(op.first(), Some(Action::CtStart(_))));
+            ops += 1;
+        }
+        assert_eq!(ops, 15);
+        assert_eq!(gen.requests_generated(), 5);
+    }
+
+    #[test]
+    fn first_component_comes_from_the_hot_root_set() {
+        let set = dirs(16);
+        let root_ids: Vec<u64> = set.dirs[0..4].iter().map(|d| d.object_id()).collect();
+        let leaf_ids: Vec<u64> = set.dirs[4..].iter().map(|d| d.object_id()).collect();
+        let mut gen = PathLookupGen::new(set, LookupCost::default(), 4, 2, 7, Some(20));
+        let mut first = true;
+        let mut roots_seen = 0;
+        loop {
+            let op = gen.next_op(&ctx());
+            if op.is_empty() {
+                break;
+            }
+            if let Action::CtStart(obj) = op[0] {
+                if first {
+                    assert!(root_ids.contains(&obj), "first component must be a root");
+                    roots_seen += 1;
+                } else {
+                    assert!(leaf_ids.contains(&obj), "later components must be leaves");
+                }
+            }
+            first = !first;
+        }
+        assert_eq!(roots_seen, 20);
+    }
+
+    #[test]
+    fn handles_fewer_directories_than_root_set() {
+        let set = dirs(2);
+        let mut gen = PathLookupGen::new(set, LookupCost::default(), 8, 3, 3, Some(3));
+        let mut count = 0;
+        loop {
+            let op = gen.next_op(&ctx());
+            if op.is_empty() {
+                break;
+            }
+            count += 1;
+        }
+        assert_eq!(count, 9);
+    }
+}

@@ -1,0 +1,51 @@
+//! # o2-suite — umbrella crate for the CoreTime / O2-scheduler reproduction
+//!
+//! Re-exports every crate of the workspace so that examples, integration
+//! tests and downstream users can depend on a single crate:
+//!
+//! * [`sim`] — the multicore cache-hierarchy simulator (the "AMD machine"),
+//! * [`runtime`] — the cooperative runtime with operation migration,
+//! * [`coretime`] — the O2 scheduler itself (the paper's contribution),
+//! * [`fs`] — the EFSL-style in-memory FAT file system,
+//! * [`workloads`] — the benchmark workloads and experiment assembly,
+//! * [`baseline`] — comparator schedulers,
+//! * [`metrics`] — statistics and report rendering.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for paper-versus-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use o2_baseline as baseline;
+pub use o2_core as coretime;
+pub use o2_fs as fs;
+pub use o2_metrics as metrics;
+pub use o2_runtime as runtime;
+pub use o2_sim as sim;
+pub use o2_workloads as workloads;
+
+/// Convenience prelude with the types most programs need.
+pub mod prelude {
+    pub use o2_baseline::{StaticPartition, ThreadClustering, ThreadScheduler};
+    pub use o2_core::{CoreTime, CoreTimeConfig, O2Policy};
+    pub use o2_fs::{LookupCost, Volume};
+    pub use o2_metrics::{Report, Series, SeriesTable};
+    pub use o2_runtime::{
+        Action, Engine, ObjectDescriptor, OpBuilder, RuntimeConfig, SchedPolicy,
+    };
+    pub use o2_sim::{AccessKind, Machine, MachineConfig};
+    pub use o2_workloads::{Experiment, Measurement, Popularity, WorkloadSpec};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let cfg = MachineConfig::amd16();
+        assert_eq!(cfg.total_cores(), 16);
+        let _ = CoreTimeConfig::default();
+        let _ = RuntimeConfig::default();
+    }
+}
