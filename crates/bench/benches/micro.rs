@@ -1,94 +1,100 @@
-//! Criterion micro-benchmarks for the building blocks:
+//! Micro-benchmarks for the building blocks:
 //!
 //! * simulator access-path throughput (cache hit and DRAM miss),
 //! * the greedy cache-packing algorithm at several object counts
 //!   (Section 4 claims Θ(n·log n)),
 //! * the FAT directory search,
 //! * one end-to-end simulated lookup experiment under both schedulers.
+//!
+//! This is a plain `harness = false` timing harness (the workspace builds
+//! offline, so criterion is unavailable): each benchmark runs a calibrated
+//! number of iterations and reports ns/iter on stdout.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use o2_core::{pack, PackItem};
 use o2_fs::{synthetic_name, Volume};
-use o2_sim::{AccessKind, Machine, MachineConfig};
+use o2_sim::{AccessKind, ContentionModel, Machine, MachineConfig};
 use o2_workloads::{Experiment, WorkloadSpec};
 
-fn bench_machine_access(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_access");
-    group.bench_function("l1_hit", |b| {
-        let mut cfg = MachineConfig::amd16();
-        cfg.contention = o2_sim::ContentionModel::None;
-        let mut m = Machine::new(cfg);
-        let r = m.memory_mut().alloc(64, 0);
-        m.access(0, r.addr, 64, AccessKind::Read);
-        b.iter(|| m.access(0, r.addr, 64, AccessKind::Read));
-    });
-    group.bench_function("dram_stream_4kb", |b| {
-        let mut cfg = MachineConfig::amd16();
-        cfg.contention = o2_sim::ContentionModel::None;
-        let mut m = Machine::new(cfg);
-        let r = m.memory_mut().alloc(64 * 1024 * 1024, 0);
-        let mut offset = 0u64;
-        b.iter(|| {
-            let addr = r.addr + (offset % (63 * 1024 * 1024));
-            offset += 4096;
-            m.access(0, addr, 4096, AccessKind::Read)
-        });
-    });
-    group.finish();
+/// Times `iters` runs of `f` and prints a criterion-style line.
+fn bench<R>(name: &str, iters: u64, mut f: impl FnMut() -> R) {
+    // One warm-up pass so lazy initialisation is not measured.
+    let _ = f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let elapsed = start.elapsed();
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<44} {iters:>9} iters   {ns:>12.1} ns/iter");
 }
 
-fn bench_cache_packing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache_packing");
+fn bench_machine_access() {
+    let mut cfg = MachineConfig::amd16();
+    cfg.contention = ContentionModel::None;
+    let mut m = Machine::new(cfg);
+    let r = m.memory_mut().alloc(64, 0);
+    m.access(0, r.addr, 64, AccessKind::Read);
+    bench("sim_access/l1_hit", 1_000_000, || {
+        m.access(0, r.addr, 64, AccessKind::Read)
+    });
+
+    let mut cfg = MachineConfig::amd16();
+    cfg.contention = ContentionModel::None;
+    let mut m = Machine::new(cfg);
+    let r = m.memory_mut().alloc(64 * 1024 * 1024, 0);
+    let mut offset = 0u64;
+    bench("sim_access/dram_stream_4kb", 20_000, || {
+        let addr = r.addr + (offset % (63 * 1024 * 1024));
+        offset += 4096;
+        m.access(0, addr, 4096, AccessKind::Read)
+    });
+}
+
+fn bench_cache_packing() {
     for n in [64u64, 512, 4096] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let items: Vec<PackItem> = (0..n)
-                .map(|i| PackItem {
-                    object: i,
-                    size: 32_000,
-                    expense: (i % 97) as f64,
-                })
-                .collect();
-            let capacities = vec![944 * 1024u64; 16];
-            b.iter(|| pack(&items, &capacities));
+        let items: Vec<PackItem> = (0..n)
+            .map(|i| PackItem {
+                object: i,
+                size: 32_000,
+                expense: (i % 97) as f64,
+            })
+            .collect();
+        let capacities = vec![944 * 1024u64; 16];
+        let iters = (200_000 / n).max(10);
+        bench(&format!("cache_packing/{n}"), iters, || {
+            pack(&items, &capacities)
         });
     }
-    group.finish();
 }
 
-fn bench_fs_lookup(c: &mut Criterion) {
+fn bench_fs_lookup() {
     let volume = Volume::build_benchmark(8, 1000).unwrap();
-    c.bench_function("fat_directory_search_1000_entries", |b| {
-        let name = synthetic_name(999);
-        b.iter(|| volume.search(3, &name).unwrap())
+    let name = synthetic_name(999);
+    bench("fat_directory_search_1000_entries", 20_000, || {
+        volume.search(3, &name).unwrap()
     });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulated_lookups");
-    group.sample_size(10);
+fn bench_end_to_end() {
     for (label, kind) in [
         ("without_coretime", o2_bench::PolicyKind::ThreadScheduler),
         ("with_coretime", o2_bench::PolicyKind::CoreTime),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let mut spec = WorkloadSpec::for_total_kb(2048);
-                spec.warmup_ops = 200;
-                spec.measure_cycles = 500_000;
-                let mut exp = Experiment::build(spec.clone(), kind.build(&spec));
-                exp.run().window.ops
-            })
+        bench(&format!("simulated_lookups/{label}"), 3, || {
+            let mut spec = WorkloadSpec::for_total_kb(2048);
+            spec.warmup_ops = 200;
+            spec.measure_cycles = 500_000;
+            let mut exp = Experiment::build(spec.clone(), kind.build(&spec));
+            exp.run().window.ops
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_machine_access,
-    bench_cache_packing,
-    bench_fs_lookup,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    bench_machine_access();
+    bench_cache_packing();
+    bench_fs_lookup();
+    bench_end_to_end();
+}

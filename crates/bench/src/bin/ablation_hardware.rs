@@ -22,7 +22,10 @@ fn main() {
             c.chips = 8;
             c
         }),
-        ("future 4x8 (bigger caches, slower DRAM)", MachineConfig::future(4, 8)),
+        (
+            "future 4x8 (bigger caches, slower DRAM)",
+            MachineConfig::future(4, 8),
+        ),
         ("future 8x8", MachineConfig::future(8, 8)),
     ];
     let total_kb: u64 = if quick_mode() { 8192 } else { 12288 };
@@ -48,7 +51,9 @@ fn main() {
         table,
     )
     .param("total data size", format!("{total_kb} KB"))
-    .note("The CoreTime advantage grows with core count and cache capacity, as Section 6.1 predicts.");
+    .note(
+        "The CoreTime advantage grows with core count and cache capacity, as Section 6.1 predicts.",
+    );
     for n in names {
         report = report.param("machine", n);
     }

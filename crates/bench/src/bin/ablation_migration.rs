@@ -22,7 +22,10 @@ fn main() {
     };
     let total_kb = 8192;
 
-    let baseline = run_point(&WorkloadSpec::for_total_kb(total_kb), PolicyKind::ThreadScheduler);
+    let baseline = run_point(
+        &WorkloadSpec::for_total_kb(total_kb),
+        PolicyKind::ThreadScheduler,
+    );
 
     let mut with = Series::new("With CoreTime");
     let mut without = Series::new("Without CoreTime");

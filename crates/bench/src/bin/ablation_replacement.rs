@@ -22,11 +22,16 @@ fn main() {
     let mut plain = Series::new("With CoreTime");
     let mut with_replacement = Series::new("With CoreTime + frequency replacement");
     for &kb in &sizes_kb {
-        let make = || {
-            WorkloadSpec::for_total_kb(kb).with_popularity(Popularity::Zipf { exponent: 0.9 })
-        };
-        baseline.push(kb as f64, run_point(&make(), PolicyKind::ThreadScheduler).kres_per_sec());
-        plain.push(kb as f64, run_point(&make(), PolicyKind::CoreTime).kres_per_sec());
+        let make =
+            || WorkloadSpec::for_total_kb(kb).with_popularity(Popularity::Zipf { exponent: 0.9 });
+        baseline.push(
+            kb as f64,
+            run_point(&make(), PolicyKind::ThreadScheduler).kres_per_sec(),
+        );
+        plain.push(
+            kb as f64,
+            run_point(&make(), PolicyKind::CoreTime).kres_per_sec(),
+        );
         with_replacement.push(
             kb as f64,
             run_point(&make(), PolicyKind::CoreTimeExtensions).kres_per_sec(),

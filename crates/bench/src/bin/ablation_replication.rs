@@ -28,7 +28,8 @@ fn main() {
     series.push(1.0, baseline.kres_per_sec());
     series.push(2.0, coretime.kres_per_sec());
     series.push(3.0, replicated.kres_per_sec());
-    let mut table = SeriesTable::new("Configuration (1=baseline, 2=CoreTime, 3=CoreTime+replication)");
+    let mut table =
+        SeriesTable::new("Configuration (1=baseline, 2=CoreTime, 3=CoreTime+replication)");
     table.add(series);
 
     let report = Report::new(

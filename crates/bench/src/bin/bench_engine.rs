@@ -1,0 +1,151 @@
+//! Engine-loop throughput benchmark → `BENCH_engine.json`.
+//!
+//! Runs two fixed-seed scenarios on the paper's 16-core AMD machine and
+//! records how fast the *host* executes the simulation loop (simulated
+//! ops and events per wall-clock second). Later PRs optimising the engine
+//! compare against this file's numbers.
+//!
+//! * `idle_heavy` — 1 busy core, 15 parked: the regime the event-driven
+//!   scheduler exists for (the old engine burned an idle-step per core
+//!   every 400 cycles here).
+//! * `saturated` — 32 threads on 16 cores with locks and migrations: the
+//!   regime where the event queue must not be slower than a linear scan.
+
+use std::time::Instant;
+
+use o2_runtime::{
+    Action, Engine, NullPolicy, OpBuilder, RepeatBehaviour, RuntimeConfig, StaticPolicy,
+};
+use o2_sim::{ContentionModel, Machine, MachineConfig};
+
+struct Outcome {
+    name: &'static str,
+    simulated_cycles: u64,
+    total_ops: u64,
+    events_processed: u64,
+    wall_seconds: f64,
+}
+
+impl Outcome {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"scenario\": \"{}\",\n",
+                "      \"simulated_cycles\": {},\n",
+                "      \"total_ops\": {},\n",
+                "      \"events_processed\": {},\n",
+                "      \"wall_seconds\": {:.6},\n",
+                "      \"sim_ops_per_wall_second\": {:.0},\n",
+                "      \"events_per_wall_second\": {:.0}\n",
+                "    }}"
+            ),
+            self.name,
+            self.simulated_cycles,
+            self.total_ops,
+            self.events_processed,
+            self.wall_seconds,
+            self.total_ops as f64 / self.wall_seconds,
+            self.events_processed as f64 / self.wall_seconds,
+        )
+    }
+}
+
+fn measure(name: &'static str, cycles: u64, mut engine: Engine) -> Outcome {
+    let start = Instant::now();
+    engine.run_until_cycles(cycles);
+    let wall_seconds = start.elapsed().as_secs_f64().max(1e-9);
+    println!(
+        "{name:<12} {:>9} ops in {:.3}s ({:.0} sim-ops/s, {} events)",
+        engine.total_ops(),
+        wall_seconds,
+        engine.total_ops() as f64 / wall_seconds,
+        engine.sched_stats().events_processed,
+    );
+    Outcome {
+        name,
+        simulated_cycles: cycles,
+        total_ops: engine.total_ops(),
+        events_processed: engine.sched_stats().events_processed,
+        wall_seconds,
+    }
+}
+
+fn idle_heavy() -> Engine {
+    let mut cfg = MachineConfig::amd16();
+    cfg.contention = ContentionModel::None;
+    let mut engine = Engine::new(
+        Machine::new(cfg),
+        Box::new(NullPolicy),
+        RuntimeConfig::default(),
+    );
+    let data = engine.machine_mut().memory_mut().alloc(64 * 1024, 0);
+    let op = OpBuilder::annotated(0x1)
+        .compute(600)
+        .read(data.addr, 4096)
+        .finish();
+    engine.spawn(0, Box::new(RepeatBehaviour::new(op, None)));
+    engine
+}
+
+fn saturated() -> Engine {
+    let machine = Machine::new(MachineConfig::amd16());
+    let mut cfg = RuntimeConfig::default();
+    cfg.quantum_cycles = 10_000;
+    let mut policy = StaticPolicy::new();
+    for i in 0..8u64 {
+        policy.assign(0x1000 + i, ((i * 5) % 16) as u32);
+    }
+    let mut engine = Engine::new(machine, Box::new(policy), cfg);
+    let data = engine.machine_mut().memory_mut().alloc(1 << 20, 0);
+    let locks: Vec<_> = (0..8)
+        .map(|_| {
+            let r = engine.machine_mut().memory_mut().alloc(64, 1);
+            engine.register_lock(r.addr)
+        })
+        .collect();
+    for core in 0..16u32 {
+        let obj = 0x1000 + u64::from(core % 8);
+        let lock = locks[(core % 8) as usize];
+        let op = OpBuilder::annotated(obj)
+            .lock(lock)
+            .compute(300)
+            .read(data.addr + u64::from(core) * 4096, 1024)
+            .unlock(lock)
+            .finish();
+        engine.spawn(core, Box::new(RepeatBehaviour::new(op, None)));
+        engine.spawn(
+            core,
+            Box::new(RepeatBehaviour::new(
+                vec![Action::Compute(500), Action::Yield],
+                None,
+            )),
+        );
+    }
+    engine
+}
+
+fn main() {
+    let outcomes = [
+        measure("idle_heavy", 30_000_000, idle_heavy()),
+        measure("saturated", 5_000_000, saturated()),
+    ];
+    let body = outcomes
+        .iter()
+        .map(Outcome::json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"engine_loop\",\n",
+            "  \"machine\": \"amd16\",\n",
+            "  \"engine\": \"event-queue (BinaryHeap, parked idle cores)\",\n",
+            "  \"scenarios\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        body
+    );
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("wrote BENCH_engine.json");
+}

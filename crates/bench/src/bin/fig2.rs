@@ -38,7 +38,10 @@ fn describe(snap: &OccupancySnapshot, label: &str) {
         let dirs = snap.resident_in_l3(chip);
         println!("  chip {chip} shared L3:            {}", render_dirs(&dirs));
     }
-    println!("  off-chip:                     {}", render_dirs(&snap.off_chip));
+    println!(
+        "  off-chip:                     {}",
+        render_dirs(&snap.off_chip)
+    );
     println!(
         "  distinct directories on-chip: {} of 20, duplication factor {:.2}",
         snap.distinct_on_chip(),
@@ -60,7 +63,10 @@ fn render_dirs(dirs: &[u64]) -> String {
 fn main() {
     println!("Figure 2: cache contents, 4 cores, 20 directories of 1000 entries\n");
     let (thread_snap, thread_label) = run_snapshot(PolicyKind::ThreadScheduler);
-    describe(&thread_snap, &format!("(a) Thread scheduler — {thread_label}"));
+    describe(
+        &thread_snap,
+        &format!("(a) Thread scheduler — {thread_label}"),
+    );
     let (o2_snap, o2_label) = run_snapshot(PolicyKind::CoreTime);
     describe(&o2_snap, &format!("(b) O2 scheduler — {o2_label}"));
 

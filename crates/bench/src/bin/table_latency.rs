@@ -89,12 +89,23 @@ fn main() {
         ("1: L1 hit", 3.0, measured_latency("l1")),
         ("2: L2 hit", 14.0, measured_latency("l2")),
         ("3: L3 hit", 75.0, measured_latency("l3")),
-        ("4: remote cache, same chip", 127.0, measured_latency("remote_same_chip")),
+        (
+            "4: remote cache, same chip",
+            127.0,
+            measured_latency("remote_same_chip"),
+        ),
         ("5: most distant DRAM", 336.0, measured_latency("dram_far")),
-        ("6: thread migration (round trip)", 2000.0, measured_migration_round_trip()),
+        (
+            "6: thread migration (round trip)",
+            2000.0,
+            measured_migration_round_trip(),
+        ),
     ];
     for (i, (label, paper_cycles, measured_cycles)) in rows.iter().enumerate() {
-        println!("  [{}] {label}: paper {paper_cycles}, measured {measured_cycles}", i + 1);
+        println!(
+            "  [{}] {label}: paper {paper_cycles}, measured {measured_cycles}",
+            i + 1
+        );
         paper.push((i + 1) as f64, *paper_cycles);
         measured.push((i + 1) as f64, *measured_cycles as f64);
     }

@@ -2,8 +2,7 @@
 //!
 //! One binary per figure/table of the paper plus ablations; this library
 //! holds the shared plumbing: policy construction, size sweeps, and series
-//! assembly. See DESIGN.md for the experiment index and EXPERIMENTS.md for
-//! recorded results.
+//! assembly. See DESIGN.md and README.md for the experiment index.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -105,7 +104,9 @@ pub fn fig4_sweep() -> Vec<u64> {
 /// Whether quick mode was requested via the `O2_QUICK` environment
 /// variable.
 pub fn quick_mode() -> bool {
-    std::env::var("O2_QUICK").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+    std::env::var("O2_QUICK")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false)
 }
 
 /// Sweeps total data size for a set of policies and returns one series per

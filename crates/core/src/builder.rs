@@ -38,7 +38,10 @@ impl CoreTime {
     /// A CoreTime policy with every Section-6.2 extension enabled
     /// (replication, clustering, frequency-based replacement).
     pub fn policy_with_extensions(machine: &MachineConfig) -> Box<dyn SchedPolicy> {
-        Box::new(O2Policy::new(machine, CoreTimeConfig::with_all_extensions()))
+        Box::new(O2Policy::new(
+            machine,
+            CoreTimeConfig::with_all_extensions(),
+        ))
     }
 }
 

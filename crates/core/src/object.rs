@@ -163,7 +163,11 @@ impl ObjectRegistry {
     /// The `n` objects with the most operations last epoch.
     pub fn hottest(&self, n: usize) -> Vec<ObjectId> {
         let mut v: Vec<(&ObjectId, &ObjectInfo)> = self.objects.iter().collect();
-        v.sort_by(|a, b| b.1.ops_last_epoch.cmp(&a.1.ops_last_epoch).then(a.0.cmp(b.0)));
+        v.sort_by(|a, b| {
+            b.1.ops_last_epoch
+                .cmp(&a.1.ops_last_epoch)
+                .then(a.0.cmp(b.0))
+        });
         v.into_iter().take(n).map(|(id, _)| *id).collect()
     }
 }

@@ -14,9 +14,7 @@
 //!   read-mostly objects and admits objects by frequency when the on-chip
 //!   budget is oversubscribed.
 
-use o2_runtime::{
-    EpochView, ObjectDescriptor, OpContext, Placement, PolicyCommand, SchedPolicy,
-};
+use o2_runtime::{EpochView, ObjectDescriptor, OpContext, Placement, PolicyCommand, SchedPolicy};
 use o2_sim::{CounterDelta, MachineConfig};
 
 use crate::clustering::CoAccessTracker;
@@ -72,8 +70,7 @@ impl O2Policy {
     /// capacity.
     pub fn new(machine: &MachineConfig, cfg: CoreTimeConfig) -> Self {
         cfg.validate().expect("invalid CoreTime configuration");
-        let per_core =
-            (machine.per_core_budget_bytes() as f64 * cfg.capacity_fraction) as u64;
+        let per_core = (machine.per_core_budget_bytes() as f64 * cfg.capacity_fraction) as u64;
         let capacities = vec![per_core; machine.total_cores() as usize];
         Self {
             cfg,
@@ -127,11 +124,10 @@ impl O2Policy {
                 .partners(object, self.cfg.clustering_threshold);
             for partner in partners {
                 if let Some(core) = self.table.primary(partner) {
-                    if self.table.free_bytes(core) >= size {
-                        if self.table.assign(object, size, core) {
-                            self.stats.assignments += 1;
-                            return;
-                        }
+                    if self.table.free_bytes(core) >= size && self.table.assign(object, size, core)
+                    {
+                        self.stats.assignments += 1;
+                        return;
                     }
                 }
             }
@@ -215,8 +211,8 @@ impl SchedPolicy for O2Policy {
         // budget is scarce). Only done under capacity pressure: with spare
         // budget an idle assignment costs nothing and the workload may come
         // back to it.
-        let pressure = self.table.total_assigned_bytes() as f64
-            / self.table.total_capacity().max(1) as f64;
+        let pressure =
+            self.table.total_assigned_bytes() as f64 / self.table.total_capacity().max(1) as f64;
         if self.cfg.enable_decay
             && pressure >= self.cfg.decay_pressure_threshold
             && self.placement_failures_this_epoch > 0
@@ -290,8 +286,8 @@ impl std::fmt::Debug for O2Policy {
 mod tests {
     use super::*;
     use o2_runtime::{
-        Engine, ObjectDescriptor, OpBuilder, OpGenerator, OpBehaviour, RuntimeConfig,
-        BehaviourCtx, Action,
+        Action, BehaviourCtx, Engine, ObjectDescriptor, OpBehaviour, OpBuilder, OpGenerator,
+        RuntimeConfig,
     };
     use o2_sim::{ContentionModel, Machine};
 
@@ -316,7 +312,10 @@ mod tests {
             self.remaining -= 1;
             let (id, addr, size) = self.regions[self.next % self.regions.len()];
             self.next += 1;
-            OpBuilder::annotated(id).read(addr, size).compute(200).finish()
+            OpBuilder::annotated(id)
+                .read(addr, size)
+                .compute(200)
+                .finish()
         }
     }
 

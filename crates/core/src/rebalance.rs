@@ -107,12 +107,7 @@ pub fn plan(
         }
         // Move the coldest objects first.
         let mut objs: Vec<ObjectId> = table.objects_on(from).to_vec();
-        objs.sort_by_key(|o| {
-            registry
-                .get(*o)
-                .map(|i| i.ops_last_epoch)
-                .unwrap_or(0)
-        });
+        objs.sort_by_key(|o| registry.get(*o).map(|i| i.ops_last_epoch).unwrap_or(0));
         let mut moved = 0u64;
         for obj in objs {
             if moved >= budget {
@@ -171,10 +166,7 @@ mod tests {
             CoreLoad::Underloaded
         );
         // In between: normal.
-        assert_eq!(
-            classify(&cfg, &delta(95_000, 5_000, 10)),
-            CoreLoad::Normal
-        );
+        assert_eq!(classify(&cfg, &delta(95_000, 5_000, 10)), CoreLoad::Normal);
     }
 
     fn registry_with(sizes: &[(u64, u64)]) -> ObjectRegistry {

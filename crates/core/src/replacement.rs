@@ -39,7 +39,9 @@ pub fn admit_with_replacement(
     size: u64,
     frequency: u64,
 ) -> Option<Admission> {
-    let mut best: Option<(CoreId, Vec<(ObjectId, u64)>, u64)> = None;
+    // (core, victims to evict, bytes freed by evicting them)
+    type Candidate = (CoreId, Vec<(ObjectId, u64)>, u64);
+    let mut best: Option<Candidate> = None;
 
     for core in 0..table.num_cores() as CoreId {
         if table.capacity(core) < size {
@@ -58,7 +60,9 @@ pub fn admit_with_replacement(
             .objects_on(core)
             .iter()
             .filter_map(|&o| {
-                registry.get(o).map(|info| (o, info.ops_last_epoch, info.size()))
+                registry
+                    .get(o)
+                    .map(|info| (o, info.ops_last_epoch, info.size()))
             })
             .filter(|&(_, ops, _)| ops < frequency)
             .collect();

@@ -60,11 +60,7 @@ pub fn plan(
             .max_by_key(|c| free[*c as usize]);
         if let Some(core) = target {
             free[core as usize] -= size;
-            plans.push(Replica {
-                object,
-                core,
-                size,
-            });
+            plans.push(Replica { object, core, size });
         }
     }
     plans

@@ -41,7 +41,9 @@ impl AssignmentTable {
 
     /// The primary core an object is assigned to, if any.
     pub fn primary(&self, object: ObjectId) -> Option<CoreId> {
-        self.assignments.get(&object).and_then(|v| v.first().copied())
+        self.assignments
+            .get(&object)
+            .and_then(|v| v.first().copied())
     }
 
     /// Every core holding the object (primary first).
@@ -121,7 +123,10 @@ impl AssignmentTable {
         if cores.contains(&core) || self.free_bytes(core) < size {
             return false;
         }
-        self.assignments.get_mut(&object).expect("checked").push(core);
+        self.assignments
+            .get_mut(&object)
+            .expect("checked")
+            .push(core);
         self.used_bytes[core as usize] += size;
         self.per_core[core as usize].push(object);
         true

@@ -33,7 +33,6 @@ pub mod volume;
 pub use dirent::{split_8_3, synthetic_name, DirEntry, ATTR_ARCHIVE, ATTR_DIRECTORY, DIRENT_SIZE};
 pub use fat::{Fat, FatError, FAT_EOC, FAT_FREE, FIRST_DATA_CLUSTER};
 pub use lookup::{
-    directory_descriptor, lookup_actions, lookup_actions_unannotated, resolve, LookupCost,
-    LookupOp,
+    directory_descriptor, lookup_actions, lookup_actions_unannotated, resolve, LookupCost, LookupOp,
 };
 pub use volume::{DirectoryHandle, Volume, VolumeError, VolumeGeometry};

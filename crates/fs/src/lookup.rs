@@ -91,7 +91,11 @@ pub fn lookup_actions_unannotated(
 
 /// Performs the lookup against the actual volume image (functional check,
 /// independent of the simulation) and returns the operation description.
-pub fn resolve(volume: &Volume, dir_index: u32, name: &str) -> Result<Option<LookupOp>, VolumeError> {
+pub fn resolve(
+    volume: &Volume,
+    dir_index: u32,
+    name: &str,
+) -> Result<Option<LookupOp>, VolumeError> {
     match volume.search(dir_index, name)? {
         Some((entry_index, examined)) => Ok(Some(LookupOp {
             dir_index,

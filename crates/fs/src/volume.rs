@@ -107,9 +107,9 @@ impl Volume {
     pub fn build_benchmark(n_dirs: u32, files_per_dir: u32) -> Result<Self, VolumeError> {
         let mut geometry = VolumeGeometry::default();
         // Make sure the data area is large enough for the requested layout.
-        let bytes_per_dir =
-            (files_per_dir as usize * DIRENT_SIZE).div_ceil(geometry.bytes_per_cluster as usize)
-                * geometry.bytes_per_cluster as usize;
+        let bytes_per_dir = (files_per_dir as usize * DIRENT_SIZE)
+            .div_ceil(geometry.bytes_per_cluster as usize)
+            * geometry.bytes_per_cluster as usize;
         let needed_clusters =
             (n_dirs as usize * bytes_per_dir) / geometry.bytes_per_cluster as usize + 8;
         geometry.data_clusters = geometry.data_clusters.max(needed_clusters as u32);
@@ -146,7 +146,9 @@ impl Volume {
     /// returns its index.
     pub fn create_directory(&mut self, files: u32) -> Result<u32, VolumeError> {
         let bytes = files as usize * DIRENT_SIZE;
-        let clusters = bytes.div_ceil(self.geometry.bytes_per_cluster as usize).max(1);
+        let clusters = bytes
+            .div_ceil(self.geometry.bytes_per_cluster as usize)
+            .max(1);
         let first_cluster = self.fat.alloc_chain(clusters)?;
         let chain = self.fat.chain(first_cluster)?;
         let image_offset = self.cluster_offset(chain[0]);

@@ -3,7 +3,7 @@
 //! The paper's headline claim is a shape, not an absolute number: CoreTime
 //! matches the baseline while the working set fits one chip's cache and is
 //! "between two to three times faster" once it does not. These helpers
-//! extract that shape from measured series so EXPERIMENTS.md can report it
+//! extract that shape from measured series so reports can include it
 //! and tests can assert it.
 
 use crate::series::Series;
@@ -109,17 +109,35 @@ mod tests {
     fn crossover_finds_sustained_advantage() {
         let a = series(
             "with",
-            &[(1.0, 100.0), (2.0, 110.0), (4.0, 300.0), (8.0, 280.0), (16.0, 250.0)],
+            &[
+                (1.0, 100.0),
+                (2.0, 110.0),
+                (4.0, 300.0),
+                (8.0, 280.0),
+                (16.0, 250.0),
+            ],
         );
         let b = series(
             "without",
-            &[(1.0, 100.0), (2.0, 100.0), (4.0, 120.0), (8.0, 100.0), (16.0, 100.0)],
+            &[
+                (1.0, 100.0),
+                (2.0, 100.0),
+                (4.0, 120.0),
+                (8.0, 100.0),
+                (16.0, 100.0),
+            ],
         );
         assert_eq!(crossover(&a, &b, 2.0), Some(4.0));
         // A transient advantage that later disappears is not a crossover.
         let c = series(
             "flaky",
-            &[(1.0, 300.0), (2.0, 90.0), (4.0, 90.0), (8.0, 90.0), (16.0, 90.0)],
+            &[
+                (1.0, 300.0),
+                (2.0, 90.0),
+                (4.0, 90.0),
+                (8.0, 90.0),
+                (16.0, 90.0),
+            ],
         );
         assert_eq!(crossover(&c, &b, 2.0), None);
         // Never exceeding the factor gives no crossover.

@@ -1,5 +1,5 @@
 //! Experiment reports: parameters + a results table + free-form notes,
-//! rendered as markdown (used to fill EXPERIMENTS.md) or plain text.
+//! rendered as markdown or plain text.
 
 use crate::series::SeriesTable;
 

@@ -217,7 +217,10 @@ mod tests {
     fn csv_rendering_is_machine_readable() {
         let csv = table().render_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "Total data size (KB),With CoreTime,Without CoreTime");
+        assert_eq!(
+            lines[0],
+            "Total data size (KB),With CoreTime,Without CoreTime"
+        );
         assert_eq!(lines[1], "1024,3000,2900");
         assert_eq!(lines[2], "4096,2500,1000");
     }

@@ -283,7 +283,13 @@ mod tests {
     #[test]
     fn op_builder_unannotated_has_no_ct_end() {
         let op = OpBuilder::new().read(0x100, 64).finish();
-        assert_eq!(op, vec![Action::Read { addr: 0x100, len: 64 }]);
+        assert_eq!(
+            op,
+            vec![Action::Read {
+                addr: 0x100,
+                len: 64
+            }]
+        );
     }
 
     struct CountedGen {
@@ -311,8 +317,14 @@ mod tests {
                 break;
             }
         }
-        let ct_starts = actions.iter().filter(|a| matches!(a, Action::CtStart(_))).count();
-        let ct_ends = actions.iter().filter(|a| matches!(a, Action::CtEnd)).count();
+        let ct_starts = actions
+            .iter()
+            .filter(|a| matches!(a, Action::CtStart(_)))
+            .count();
+        let ct_ends = actions
+            .iter()
+            .filter(|a| matches!(a, Action::CtEnd))
+            .count();
         assert_eq!(ct_starts, 2);
         assert_eq!(ct_ends, 2);
         assert_eq!(actions.last(), Some(&Action::Exit));

@@ -41,8 +41,16 @@ pub struct RuntimeConfig {
     pub epoch_cycles: Cycles,
     /// Round-robin quantum for threads sharing a core.
     pub quantum_cycles: Cycles,
-    /// How far an idle core's clock advances per simulation step.
+    /// How far an idle core's clock advances per simulation step. Retained
+    /// for configuration compatibility: the event-driven engine parks idle
+    /// cores outright instead of stepping them, so this no longer affects
+    /// results.
     pub idle_step_cycles: Cycles,
+    /// When `true`, a thread that finds a lock held *blocks* (its core can
+    /// park) and the holder's release wakes it, instead of the default
+    /// paper-faithful spinning. Spinning burns cycles and coherence
+    /// traffic; blocking models a runtime with sleeping mutexes.
+    pub blocking_locks: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -59,6 +67,7 @@ impl Default for RuntimeConfig {
             epoch_cycles: 200_000,
             quantum_cycles: 50_000,
             idle_step_cycles: 400,
+            blocking_locks: false,
         }
     }
 }
@@ -78,8 +87,7 @@ impl RuntimeConfig {
         let current = self.expected_migration_cycles().max(1);
         let scale = target as f64 / current as f64;
         self.save_context_cycles = ((self.save_context_cycles as f64) * scale).round() as u64;
-        self.restore_context_cycles =
-            ((self.restore_context_cycles as f64) * scale).round() as u64;
+        self.restore_context_cycles = ((self.restore_context_cycles as f64) * scale).round() as u64;
         self.poll_interval_cycles =
             (((self.poll_interval_cycles as f64) * scale).round() as u64).max(2);
         self
@@ -89,6 +97,13 @@ impl RuntimeConfig {
     /// thread scheduler).
     pub fn without_migration(mut self) -> Self {
         self.migration_enabled = false;
+        self
+    }
+
+    /// Makes contended locks block (and park their core) instead of
+    /// spinning; the holder's release wakes the first waiter.
+    pub fn with_blocking_locks(mut self) -> Self {
+        self.blocking_locks = true;
         self
     }
 

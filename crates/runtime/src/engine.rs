@@ -7,17 +7,27 @@
 //! pluggable [`SchedPolicy`] consulted at every `ct_start`/`ct_end` and at
 //! periodic epochs.
 //!
-//! Execution is a deterministic discrete-event simulation: every core has a
-//! local cycle clock, and the engine always steps the core with the
-//! smallest clock, so results are reproducible bit-for-bit.
+//! Execution is a deterministic discrete-event simulation. A min-heap of
+//! `(wake_cycle, core)` events drives the run loop: the engine always pops
+//! the event with the smallest wake cycle (ties broken by the lower core
+//! id, exactly the order the original smallest-clock scan produced), steps
+//! that core once, and reschedules it at its returned next wake time.
+//! Cores with nothing to run are **parked** — they own no heap entry and
+//! consume zero work per step — and are explicitly woken by thread spawns,
+//! migration-inbox arrivals, lock releases (when [`RuntimeConfig`]'s
+//! `blocking_locks` is enabled) and epoch boundaries. Idle time is
+//! credited to parked cores in bulk when they wake, at each epoch
+//! boundary, and when a run ends, so counters read exactly as if the core
+//! had idled cycle by cycle.
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use crate::action::{Action, ObjectDescriptor};
 use crate::behaviour::{BehaviourCtx, ThreadBehaviour};
 use crate::config::RuntimeConfig;
 use crate::policy::{EpochView, OpContext, Placement, PolicyCommand, SchedPolicy};
-use crate::stats::RunWindow;
+use crate::stats::{RunWindow, SchedStats};
 use crate::sync::LockRegistry;
 use crate::thread::{OpRecord, Thread, ThreadState, ThreadStats};
 use crate::types::{CoreId, Cycles, LockId, ObjectId, ThreadId};
@@ -56,6 +66,14 @@ pub struct Engine {
     total_ops: u64,
     next_epoch: Cycles,
     epoch_base: MachineCounters,
+    /// The event queue: `(wake_cycle, core)` entries, popped smallest
+    /// first. Stale entries (superseded by an earlier wake-up) are
+    /// discarded lazily when they surface.
+    events: BinaryHeap<Reverse<(Cycles, usize)>>,
+    /// The wake cycle each core is currently scheduled at (`None` while
+    /// parked). Used to recognise stale heap entries.
+    sched_wake: Vec<Option<Cycles>>,
+    sched_stats: SchedStats,
 }
 
 impl Engine {
@@ -78,6 +96,9 @@ impl Engine {
             total_ops: 0,
             next_epoch,
             epoch_base,
+            events: BinaryHeap::new(),
+            sched_wake: vec![None; n],
+            sched_stats: SchedStats::default(),
         }
     }
 
@@ -94,6 +115,9 @@ impl Engine {
         self.locations.push(Some(home_core));
         self.cores[home_core as usize].run_queue.push_back(id);
         self.live_threads += 1;
+        // A spawn is a wake-up source: un-park the home core.
+        let at = self.cores[home_core as usize].clock;
+        self.wake_core(home_core as usize, at);
         id
     }
 
@@ -166,44 +190,46 @@ impl Engine {
         self.cores.iter().map(|c| c.clock).min().unwrap_or(0)
     }
 
+    /// Scheduler statistics: events processed, parked-core wake-ups, etc.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched_stats
+    }
+
     // ---- running -----------------------------------------------------------
 
     /// Runs until every core's clock reaches `limit` (or all threads exit).
     pub fn run_until_cycles(&mut self, limit: Cycles) {
-        loop {
-            if self.live_threads == 0 {
+        self.prime_event_queue();
+        while self.live_threads > 0 {
+            let Some((wake, core)) = self.pop_event(limit) else {
                 break;
-            }
-            let core = self
-                .cores
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.clock < limit)
-                .min_by_key(|(_, c)| c.clock)
-                .map(|(i, _)| i);
-            match core {
-                Some(c) => self.step_core(c, limit),
-                None => break,
-            }
-            self.maybe_epoch();
+            };
+            self.dispatch(core, wake);
+            self.maybe_epoch(limit);
         }
+        // Cores that are still parked were idle for the rest of the run.
+        let settle_to = if self.live_threads == 0 {
+            self.max_clock().min(limit)
+        } else {
+            limit
+        };
+        self.settle_idle_cores(settle_to);
     }
 
     /// Runs until `n` additional operations have completed (or all threads
     /// exit).
     pub fn run_until_ops(&mut self, n: u64) {
         let target = self.total_ops + n;
+        self.prime_event_queue();
         while self.total_ops < target && self.live_threads > 0 {
-            let core = self
-                .cores
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, c)| c.clock)
-                .map(|(i, _)| i)
-                .expect("at least one core");
-            self.step_core(core, Cycles::MAX);
-            self.maybe_epoch();
+            let Some((wake, core)) = self.pop_event(Cycles::MAX) else {
+                break;
+            };
+            self.dispatch(core, wake);
+            self.maybe_epoch(Cycles::MAX);
         }
+        let settle_to = self.max_clock();
+        self.settle_idle_cores(settle_to);
     }
 
     /// Runs a measurement window of `cycles` cycles starting at the current
@@ -241,10 +267,142 @@ impl Engine {
         }
     }
 
+    // ---- the event queue ---------------------------------------------------
+
+    /// Schedules (or re-schedules, if `at` is earlier than the pending
+    /// entry) a wake-up for `core`. Never moves a wake-up later: a core
+    /// already scheduled to act at or before `at` is left alone.
+    fn wake_core(&mut self, core: usize, at: Cycles) {
+        let at = at.max(self.cores[core].clock);
+        match self.sched_wake[core] {
+            Some(pending) if pending <= at => {}
+            _ => {
+                self.sched_wake[core] = Some(at);
+                self.events.push(Reverse((at, core)));
+            }
+        }
+    }
+
+    /// Schedules every core that has something to do. Called at the start
+    /// of each run so that spawns and registrations performed between runs
+    /// take effect; cores with nothing to do stay parked.
+    fn prime_event_queue(&mut self) {
+        for i in 0..self.cores.len() {
+            if let Some(at) = self.core_next_wake(i) {
+                self.wake_core(i, at);
+            }
+        }
+    }
+
+    /// The next cycle at which `core` has something to do: immediately if
+    /// it has runnable threads, at the earliest inbox arrival if it is only
+    /// waiting for a migration, `None` (park) otherwise.
+    fn core_next_wake(&self, core: usize) -> Option<Cycles> {
+        let c = &self.cores[core];
+        if c.current.is_some() || !c.run_queue.is_empty() {
+            Some(c.clock)
+        } else {
+            c.inbox
+                .iter()
+                .map(|inc| inc.ready_at)
+                .min()
+                .map(|ready| ready.max(c.clock))
+        }
+    }
+
+    /// Pops the next valid event strictly before `limit`, discarding stale
+    /// entries. Events at or past `limit` are left in the heap for a later
+    /// run.
+    fn pop_event(&mut self, limit: Cycles) -> Option<(Cycles, usize)> {
+        loop {
+            let &Reverse((wake, core)) = self.events.peek()?;
+            if self.sched_wake[core] != Some(wake) {
+                self.events.pop();
+                self.sched_stats.stale_events += 1;
+                continue;
+            }
+            if wake >= limit {
+                return None;
+            }
+            self.events.pop();
+            self.sched_wake[core] = None;
+            self.sched_stats.events_processed += 1;
+            return Some((wake, core));
+        }
+    }
+
+    /// The wake cycle of the next valid pending event, discarding stale
+    /// entries. This is the frontier the epoch gate compares against:
+    /// parked cores are conceptually *at* the frontier, so they never hold
+    /// an epoch back.
+    fn peek_valid_wake(&mut self) -> Option<Cycles> {
+        loop {
+            let &Reverse((wake, core)) = self.events.peek()?;
+            if self.sched_wake[core] == Some(wake) {
+                return Some(wake);
+            }
+            self.events.pop();
+            self.sched_stats.stale_events += 1;
+        }
+    }
+
+    /// Processes one event: advances a woken parked core's clock (crediting
+    /// the gap as idle time), steps the core once, and re-schedules it at
+    /// the next wake time `step_core` reports.
+    fn dispatch(&mut self, core_idx: usize, wake: Cycles) {
+        if wake > self.cores[core_idx].clock {
+            // A wake cycle ahead of the core's clock means the core had
+            // nothing runnable and was woken by an arrival (migration,
+            // lock hand-off, rehome): the skipped span is idle time. Note
+            // the work that woke it may already be queued — a busy core is
+            // always scheduled at exactly its own clock, so it can never
+            // reach this branch.
+            let idle = wake - self.cores[core_idx].clock;
+            self.cores[core_idx].clock = wake;
+            self.machine.counters_mut(core_idx as CoreId).idle_cycles += idle;
+            self.sched_stats.park_wakeups += 1;
+        } else if self.cores[core_idx].current.is_none()
+            && self.cores[core_idx].run_queue.is_empty()
+        {
+            // Woken at its own clock with nothing queued yet (an inbox
+            // arrival that is ready now).
+            self.sched_stats.park_wakeups += 1;
+        }
+        if let Some(next) = self.step_core(core_idx) {
+            self.wake_core(core_idx, next);
+        } else {
+            self.sched_stats.parks += 1;
+        }
+    }
+
+    /// Fast-forwards every core that has nothing runnable to `up_to`,
+    /// crediting the skipped span as idle cycles — the bulk equivalent of
+    /// the cycle-by-cycle idling the pre-event-queue engine performed. A
+    /// core with a pending wake-up (an in-flight migration arrival) is
+    /// never advanced past that wake, exactly as the old engine capped an
+    /// idle core's clock at its earliest inbox `ready_at`.
+    fn settle_idle_cores(&mut self, up_to: Cycles) {
+        for i in 0..self.cores.len() {
+            let c = &self.cores[i];
+            if c.current.is_none() && c.run_queue.is_empty() && c.clock < up_to {
+                let target = match self.sched_wake[i] {
+                    Some(wake) => up_to.min(wake),
+                    None => up_to,
+                };
+                if target > c.clock {
+                    let idle = target - c.clock;
+                    self.cores[i].clock = target;
+                    self.machine.counters_mut(i as CoreId).idle_cycles += idle;
+                }
+            }
+        }
+    }
+
     // ---- internals ---------------------------------------------------------
 
-    /// Advances one core by one scheduling decision or action.
-    fn step_core(&mut self, core_idx: usize, limit: Cycles) {
+    /// Advances one core by one scheduling decision or action and returns
+    /// the cycle at which it next needs to run (`None` parks the core).
+    fn step_core(&mut self, core_idx: usize) -> Option<Cycles> {
         let core_id = core_idx as CoreId;
         self.machine.set_time_hint(self.cores[core_idx].clock);
         self.accept_inbox(core_idx);
@@ -255,8 +413,8 @@ impl Engine {
                 self.cores[core_idx].current = Some(next);
                 self.cores[core_idx].quantum_used = 0;
             } else {
-                self.idle_step(core_idx, limit);
-                return;
+                // Nothing runnable: wait for the inbox or park.
+                return self.core_next_wake(core_idx);
             }
         }
 
@@ -295,6 +453,7 @@ impl Engine {
 
         let elapsed = self.cores[core_idx].clock - before;
         self.cores[core_idx].quantum_used += elapsed;
+        self.core_next_wake(core_idx)
     }
 
     /// Accepts migrated-in threads whose context transfer has completed.
@@ -330,26 +489,6 @@ impl Engine {
             self.locations[tid] = Some(core_id);
             self.cores[core_idx].run_queue.push_back(tid);
         }
-    }
-
-    /// Advances an idle core's clock.
-    fn idle_step(&mut self, core_idx: usize, limit: Cycles) {
-        let clock = self.cores[core_idx].clock;
-        let mut target = (clock + self.cfg.idle_step_cycles).min(limit);
-        if let Some(earliest) = self.cores[core_idx]
-            .inbox
-            .iter()
-            .map(|i| i.ready_at)
-            .min()
-        {
-            target = target.min(earliest.max(clock + 1));
-        }
-        if target <= clock {
-            target = clock + 1;
-        }
-        let idle = target - clock;
-        self.cores[core_idx].clock = target;
-        self.machine.counters_mut(core_idx as CoreId).idle_cycles += idle;
     }
 
     /// Executes one action of thread `tid` on core `core_idx`.
@@ -411,7 +550,19 @@ impl Engine {
             let holder_here = self.locations[holder] == Some(core_id);
             // Retry the acquisition next time this thread runs.
             self.threads[tid].defer_front(Action::Lock(lock));
-            if holder_here && !self.cores[core_idx].run_queue.is_empty() {
+            if self.cfg.blocking_locks {
+                // Block instead of spinning: charge the failed probe, then
+                // sleep until the holder's release wakes this thread (and,
+                // if need be, un-parks this core).
+                let cost = self.cfg.lock_spin_cycles
+                    + self.machine.access(core_id, addr, 8, AccessKind::Read);
+                self.cores[core_idx].clock += cost;
+                self.machine.counters_mut(core_id).busy_cycles += self.cfg.lock_spin_cycles;
+                self.threads[tid].stats.lock_wait_cycles += cost;
+                self.threads[tid].state = ThreadState::Blocked;
+                self.locks.push_waiter(lock, tid);
+                self.cores[core_idx].current = None;
+            } else if holder_here && !self.cores[core_idx].run_queue.is_empty() {
                 // Spinning would deadlock a cooperative core: yield to let
                 // the holder make progress.
                 self.cores[core_idx].clock += self.cfg.yield_cycles;
@@ -443,6 +594,22 @@ impl Engine {
             self.cfg.lock_op_cycles + self.machine.access(core_id, addr, 8, AccessKind::Write);
         self.cores[core_idx].clock += cost;
         self.machine.counters_mut(core_id).busy_cycles += self.cfg.lock_op_cycles;
+        // A release is a wake-up source: hand the lock's first waiter back
+        // to its core's run queue and un-park that core if necessary.
+        if self.cfg.blocking_locks {
+            if let Some(waiter) = self.locks.pop_waiter(lock) {
+                let dest = self.locations[waiter].expect("blocked thread lives on a core");
+                self.threads[waiter].state = ThreadState::Runnable;
+                self.cores[dest as usize].run_queue.push_back(waiter);
+                // The waiter cannot observe the release before it happened:
+                // wake no earlier than the releasing core's clock.
+                let at = self.cores[core_idx]
+                    .clock
+                    .max(self.cores[dest as usize].clock);
+                self.wake_core(dest as usize, at);
+                self.sched_stats.lock_wakeups += 1;
+            }
+        }
     }
 
     fn exec_ct_start(&mut self, core_idx: usize, tid: ThreadId, object: ObjectId) {
@@ -549,26 +716,54 @@ impl Engine {
             ready_at,
         });
         self.cores[core_idx].current = None;
+        // A migration arrival is a wake-up source for the (possibly
+        // parked) destination core.
+        self.wake_core(dest as usize, ready_at);
     }
 
-    /// Fires a policy epoch when the virtual-time frontier has crossed the
-    /// next epoch boundary.
-    fn maybe_epoch(&mut self) {
-        if self.min_clock() < self.next_epoch {
-            return;
-        }
-        let snapshot = self.machine.snapshot_counters();
-        let deltas = snapshot.delta_since(&self.epoch_base);
-        let view = EpochView {
-            now: self.next_epoch,
-            machine: &self.machine,
-            deltas: &deltas,
-        };
-        let commands = self.policy.on_epoch(&view);
-        self.epoch_base = snapshot;
-        self.next_epoch += self.cfg.epoch_cycles;
-        for cmd in commands {
-            self.apply_command(cmd);
+    /// Fires policy epochs once the virtual-time frontier has crossed the
+    /// next epoch boundary. The frontier is the wake cycle of the next
+    /// pending event; parked cores sit at the frontier by definition and
+    /// never delay an epoch. A single long action can carry the frontier
+    /// across several boundaries at once, so this catches up in a loop —
+    /// every boundary fires exactly once, in order.
+    ///
+    /// `limit` is the current run's cycle bound: in the old engine idle
+    /// cores never advanced past the limit, so while any core is idle no
+    /// boundary beyond the limit may fire (nor may idle clocks be settled
+    /// past it).
+    fn maybe_epoch(&mut self, limit: Cycles) {
+        loop {
+            match self.peek_valid_wake() {
+                Some(frontier) if frontier >= self.next_epoch => {}
+                _ => return,
+            }
+            if self.next_epoch > limit
+                && self
+                    .cores
+                    .iter()
+                    .any(|c| c.current.is_none() && c.run_queue.is_empty())
+            {
+                return;
+            }
+            // Epoch boundaries are a wake-up source for idle accounting:
+            // bring every parked core's clock (and idle counter) up to the
+            // boundary so the policy's per-core deltas include their idle
+            // time.
+            self.settle_idle_cores(self.next_epoch.min(limit));
+            let snapshot = self.machine.snapshot_counters();
+            let deltas = snapshot.delta_since(&self.epoch_base);
+            let view = EpochView {
+                now: self.next_epoch,
+                machine: &self.machine,
+                deltas: &deltas,
+            };
+            let commands = self.policy.on_epoch(&view);
+            self.epoch_base = snapshot;
+            self.next_epoch += self.cfg.epoch_cycles;
+            for cmd in commands {
+                self.apply_command(cmd);
+            }
         }
     }
 
@@ -607,10 +802,10 @@ impl Engine {
                             + self.cfg.expected_migration_cycles();
                         self.threads[thread].state = ThreadState::Migrating;
                         self.locations[thread] = Some(core);
-                        self.cores[core as usize].inbox.push(Incoming {
-                            thread,
-                            ready_at,
-                        });
+                        self.cores[core as usize]
+                            .inbox
+                            .push(Incoming { thread, ready_at });
+                        self.wake_core(core as usize, ready_at);
                     }
                 } else {
                     // The thread is running right now: move it at its next
@@ -654,7 +849,10 @@ mod tests {
     #[test]
     fn compute_advances_the_clock() {
         let mut e = engine(Box::new(NullPolicy));
-        e.spawn(0, Box::new(FixedBehaviour::new(vec![Action::Compute(1000)])));
+        e.spawn(
+            0,
+            Box::new(FixedBehaviour::new(vec![Action::Compute(1000)])),
+        );
         e.run_until_cycles(10_000);
         assert!(e.core_clock(0) >= 1000);
         assert_eq!(e.live_threads(), 0);

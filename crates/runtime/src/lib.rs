@@ -6,7 +6,8 @@
 //! of the [`o2_sim`] machine model, in virtual time:
 //!
 //! * one virtual core per simulated core, each with its own run queue and
-//!   local cycle clock ([`engine`]),
+//!   local cycle clock, driven by an event-queue scheduler that parks
+//!   idle cores ([`engine`]),
 //! * cooperative threads written as action state machines
 //!   ([`action`], [`behaviour`], [`thread`]),
 //! * the paper's migration mechanism — save the context to a shared
@@ -52,8 +53,10 @@ pub use behaviour::{
 };
 pub use config::RuntimeConfig;
 pub use engine::Engine;
-pub use policy::{EpochView, NullPolicy, OpContext, Placement, PolicyCommand, SchedPolicy, StaticPolicy};
-pub use stats::RunWindow;
+pub use policy::{
+    EpochView, NullPolicy, OpContext, Placement, PolicyCommand, SchedPolicy, StaticPolicy,
+};
+pub use stats::{RunWindow, SchedStats};
 pub use sync::{LockError, LockInfo, LockRegistry};
 pub use thread::{OpRecord, Thread, ThreadState, ThreadStats};
 pub use types::{CoreId, Cycles, LockId, ObjectId, ThreadId};

@@ -170,12 +170,13 @@ mod tests {
         let mut p = NullPolicy;
         assert_eq!(p.name(), "thread-scheduler");
         assert_eq!(p.on_ct_start(&ctx(&m, 0x1000, 2)), Placement::Local);
-        assert!(p.on_epoch(&EpochView {
-            now: 0,
-            machine: &m,
-            deltas: &[]
-        })
-        .is_empty());
+        assert!(p
+            .on_epoch(&EpochView {
+                now: 0,
+                machine: &m,
+                deltas: &[]
+            })
+            .is_empty());
     }
 
     #[test]

@@ -2,6 +2,27 @@
 
 use crate::types::Cycles;
 
+/// Statistics of the event-driven scheduler loop.
+///
+/// The interesting property these expose: `events_processed` scales with
+/// the amount of *work*, not with `cores × cycles` — a machine where 15 of
+/// 16 cores are parked processes no more events than a single-core run of
+/// the same workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Events popped from the queue and dispatched to a core.
+    pub events_processed: u64,
+    /// Superseded heap entries discarded without dispatching.
+    pub stale_events: u64,
+    /// Dispatches that woke a core with no runnable thread (migration
+    /// arrivals, lock hand-offs, spawns onto a parked core).
+    pub park_wakeups: u64,
+    /// Times a core was parked (left the event queue entirely).
+    pub parks: u64,
+    /// Blocked threads handed a lock and woken by a release.
+    pub lock_wakeups: u64,
+}
+
 /// Result of running the engine over a measurement window.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunWindow {

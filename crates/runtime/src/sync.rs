@@ -35,6 +35,9 @@ pub enum LockError {
 #[derive(Debug, Default, Clone)]
 pub struct LockRegistry {
     locks: Vec<LockInfo>,
+    /// FIFO queues of threads blocked on each lock (used only when the
+    /// runtime runs with `blocking_locks`; spinning waiters never enqueue).
+    waiters: Vec<std::collections::VecDeque<ThreadId>>,
 }
 
 impl LockRegistry {
@@ -51,7 +54,23 @@ impl LockRegistry {
             acquisitions: 0,
             contended_attempts: 0,
         });
+        self.waiters.push(std::collections::VecDeque::new());
         self.locks.len() - 1
+    }
+
+    /// Enqueues a thread blocked on `lock` (FIFO hand-off order).
+    pub fn push_waiter(&mut self, lock: LockId, thread: ThreadId) {
+        self.waiters[lock].push_back(thread);
+    }
+
+    /// Dequeues the longest-waiting blocked thread, if any.
+    pub fn pop_waiter(&mut self, lock: LockId) -> Option<ThreadId> {
+        self.waiters.get_mut(lock)?.pop_front()
+    }
+
+    /// Number of threads currently blocked on `lock`.
+    pub fn waiter_count(&self, lock: LockId) -> usize {
+        self.waiters.get(lock).map_or(0, |w| w.len())
     }
 
     /// Number of registered locks.

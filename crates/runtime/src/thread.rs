@@ -15,6 +15,9 @@ pub enum ThreadState {
     /// In transit between cores: saved in the shared migration buffer,
     /// waiting for the destination core to poll it.
     Migrating,
+    /// Asleep on a contended lock (only with `RuntimeConfig::blocking_locks`);
+    /// the holder's release makes it runnable again.
+    Blocked,
     /// Finished (`Action::Exit`).
     Done,
 }

@@ -231,7 +231,10 @@ impl MachineConfig {
             return Err("machine must have at least one chip and one core per chip".into());
         }
         if !self.line_size.is_power_of_two() {
-            return Err(format!("line size {} is not a power of two", self.line_size));
+            return Err(format!(
+                "line size {} is not a power of two",
+                self.line_size
+            ));
         }
         for (name, geom) in [("L1", self.l1), ("L2", self.l2), ("L3", self.l3)] {
             if geom.size_bytes < self.line_size {

@@ -151,8 +151,7 @@ impl Interconnect {
                 // Roll the utilization window forward if needed.
                 if now >= self.window_start + window {
                     let elapsed = (now - self.window_start).max(1);
-                    self.last_utilization =
-                        (self.window_busy as f64 / elapsed as f64).min(1.0);
+                    self.last_utilization = (self.window_busy as f64 / elapsed as f64).min(1.0);
                     self.window_start = now;
                     self.window_busy = 0;
                 }

@@ -79,9 +79,15 @@ impl Machine {
         assert!(cfg.chips <= 64, "at most 64 chips are supported");
         let cores = cfg.total_cores() as usize;
         let chips = cfg.chips as usize;
-        let l1 = (0..cores).map(|_| Cache::new(cfg.l1, cfg.line_size)).collect();
-        let l2 = (0..cores).map(|_| Cache::new(cfg.l2, cfg.line_size)).collect();
-        let l3 = (0..chips).map(|_| Cache::new(cfg.l3, cfg.line_size)).collect();
+        let l1 = (0..cores)
+            .map(|_| Cache::new(cfg.l1, cfg.line_size))
+            .collect();
+        let l2 = (0..cores)
+            .map(|_| Cache::new(cfg.l2, cfg.line_size))
+            .collect();
+        let l3 = (0..chips)
+            .map(|_| Cache::new(cfg.l3, cfg.line_size))
+            .collect();
         let interconnect = Interconnect::new(cfg.chips, cfg.contention);
         let memory = SimMemory::new(cfg.chips, cfg.line_size);
         Self {
@@ -178,7 +184,12 @@ impl Machine {
     }
 
     /// Performs a single-line access and returns its cost and outcome.
-    pub fn access_line(&mut self, core: u32, line: LineAddr, kind: AccessKind) -> (u64, AccessOutcome) {
+    pub fn access_line(
+        &mut self,
+        core: u32,
+        line: LineAddr,
+        kind: AccessKind,
+    ) -> (u64, AccessOutcome) {
         let chip = self.cfg.chip_of(core);
         let c = core as usize;
         let streamed_hint = self.is_streamed(core, line);

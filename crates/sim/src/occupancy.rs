@@ -88,7 +88,12 @@ impl OccupancySnapshot {
     pub fn duplication_factor(&self) -> f64 {
         let mut per_label_copies: HashMap<u64, u64> = HashMap::new();
         let mut per_label_distinct: HashMap<u64, u64> = HashMap::new();
-        for r in self.private.iter().flatten().chain(self.l3.iter().flatten()) {
+        for r in self
+            .private
+            .iter()
+            .flatten()
+            .chain(self.l3.iter().flatten())
+        {
             *per_label_copies.entry(r.label).or_insert(0) += r.lines_resident;
             let d = per_label_distinct.entry(r.label).or_insert(0);
             *d = (*d).max(r.lines_resident);
@@ -147,9 +152,7 @@ pub fn snapshot_with_threshold(
         let mut per_obj = Vec::with_capacity(regions.len());
         for r in regions {
             let (first, last) = lines_of(r);
-            let resident = (first..=last)
-                .filter(|&l| machine.in_l3(chip, l))
-                .count() as u64;
+            let resident = (first..=last).filter(|&l| machine.in_l3(chip, l)).count() as u64;
             per_obj.push(Residency {
                 label: r.label,
                 lines_resident: resident,

@@ -80,11 +80,7 @@ impl DirChooser {
             }
             Popularity::Zipf { .. } => {
                 let u: f64 = rng.gen();
-                match self
-                    .zipf_cdf
-                    .iter()
-                    .position(|&c| u <= c)
-                {
+                match self.zipf_cdf.iter().position(|&c| u <= c) {
                     Some(i) => i as u32,
                     None => self.n_dirs - 1,
                 }
@@ -133,10 +129,13 @@ mod tests {
 
     #[test]
     fn oscillating_shrinks_the_active_set_in_odd_phases() {
-        let c = DirChooser::new(64, Popularity::Oscillating {
-            period_ops: 100,
-            shrink_factor: 16,
-        });
+        let c = DirChooser::new(
+            64,
+            Popularity::Oscillating {
+                period_ops: 100,
+                shrink_factor: 16,
+            },
+        );
         // Phase 0 (ops 0..100): full range.
         assert_eq!(c.active_range(50), (0, 64));
         // Phase 1 (ops 100..200): 4 directories.
@@ -165,10 +164,13 @@ mod tests {
 
     #[test]
     fn hotspot_sends_the_requested_fraction_to_hot_dirs() {
-        let c = DirChooser::new(50, Popularity::Hotspot {
-            hot_dirs: 2,
-            hot_fraction: 0.8,
-        });
+        let c = DirChooser::new(
+            50,
+            Popularity::Hotspot {
+                hot_dirs: 2,
+                hot_fraction: 0.8,
+            },
+        );
         let h = histogram(&c, 20_000, 0);
         let hot: u64 = h[0..2].iter().sum();
         assert!(hot > 15_000 && hot < 17_500, "hot share {hot}");
@@ -181,17 +183,23 @@ mod tests {
         for ops in 0..100 {
             assert_eq!(c.choose(&mut r, ops), 0);
         }
-        let c = DirChooser::new(1, Popularity::Oscillating {
-            period_ops: 10,
-            shrink_factor: 16,
-        });
+        let c = DirChooser::new(
+            1,
+            Popularity::Oscillating {
+                period_ops: 10,
+                shrink_factor: 16,
+            },
+        );
         for ops in 0..100 {
             assert_eq!(c.choose(&mut r, ops), 0);
         }
-        let c = DirChooser::new(1, Popularity::Hotspot {
-            hot_dirs: 5,
-            hot_fraction: 0.9,
-        });
+        let c = DirChooser::new(
+            1,
+            Popularity::Hotspot {
+                hot_dirs: 5,
+                hot_fraction: 0.9,
+            },
+        );
         assert_eq!(c.choose(&mut r, 0), 0);
     }
 

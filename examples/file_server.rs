@@ -37,8 +37,8 @@ fn serve(label: &str, policy: Box<dyn SchedPolicy>) -> f64 {
         let gen = PathLookupGen::new(
             Rc::clone(&dirs),
             LookupCost::default(),
-            8,              // hot root directories
-            3,              // components per path
+            8, // hot root directories
+            3, // components per path
             1000 + u64::from(core),
             None,
         );
@@ -60,7 +60,9 @@ fn serve(label: &str, policy: Box<dyn SchedPolicy>) -> f64 {
 }
 
 fn main() {
-    println!("Path resolution: 16 cores, /root(8 dirs)/leaf(248 dirs)/file, 3 lookups per request\n");
+    println!(
+        "Path resolution: 16 cores, /root(8 dirs)/leaf(248 dirs)/file, 3 lookups per request\n"
+    );
     let machine_cfg = MachineConfig::amd16();
     let without = serve("Without CoreTime:", Box::new(ThreadScheduler::new()));
     let with = serve("With CoreTime:", CoreTime::policy(&machine_cfg));

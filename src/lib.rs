@@ -11,8 +11,8 @@
 //! * [`baseline`] — comparator schedulers,
 //! * [`metrics`] — statistics and report rendering.
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
-//! `EXPERIMENTS.md` for paper-versus-measured results.
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory
+//! (including the event-queue engine design note).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,9 +31,7 @@ pub mod prelude {
     pub use o2_core::{CoreTime, CoreTimeConfig, O2Policy};
     pub use o2_fs::{LookupCost, Volume};
     pub use o2_metrics::{Report, Series, SeriesTable};
-    pub use o2_runtime::{
-        Action, Engine, ObjectDescriptor, OpBuilder, RuntimeConfig, SchedPolicy,
-    };
+    pub use o2_runtime::{Action, Engine, ObjectDescriptor, OpBuilder, RuntimeConfig, SchedPolicy};
     pub use o2_sim::{AccessKind, Machine, MachineConfig};
     pub use o2_workloads::{Experiment, Measurement, Popularity, WorkloadSpec};
 }

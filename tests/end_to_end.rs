@@ -134,7 +134,9 @@ fn sixteen_core_machine_runs_the_paper_configuration() {
     // Every chip saw some traffic.
     let machine = exp.engine().machine();
     for chip in 0..4 {
-        let chip_busy: u64 = (0..4).map(|c| machine.counters(chip * 4 + c).busy_cycles).sum();
+        let chip_busy: u64 = (0..4)
+            .map(|c| machine.counters(chip * 4 + c).busy_cycles)
+            .sum();
         assert!(chip_busy > 0, "chip {chip} never executed anything");
     }
 }

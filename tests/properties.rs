@@ -1,49 +1,65 @@
-//! Property-based tests (proptest) for the core data structures and
-//! invariants.
+//! Randomised property tests for the core data structures and invariants.
+//!
+//! These were originally written against `proptest`; the workspace builds
+//! offline, so they are expressed as seeded-loop properties instead: each
+//! test draws many random cases from a fixed-seed [`StdRng`] and asserts
+//! the same invariants. Failures are reproducible by construction.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use o2_suite::coretime::{pack, AssignmentTable, PackItem};
-use o2_suite::fs::{split_8_3, DirEntry, Fat, Volume, DIRENT_SIZE};
-use o2_suite::sim::{AccessKind, Cache, CacheGeometry, Machine, MachineConfig};
+use o2_suite::fs::{split_8_3, synthetic_name, DirEntry, Fat, Volume, DIRENT_SIZE};
+use o2_suite::sim::{AccessKind, Cache, CacheGeometry, ContentionModel, Machine, MachineConfig};
 
-proptest! {
-    /// The greedy cache packer never overflows any core's budget, and every
-    /// object is either placed or reported as unplaced.
-    #[test]
-    fn packing_respects_budgets(
-        sizes in prop::collection::vec(1u64..200_000, 1..80),
-        expenses in prop::collection::vec(0.0f64..1e6, 1..80),
-        capacities in prop::collection::vec(1u64..500_000, 1..16),
-    ) {
-        let items: Vec<PackItem> = sizes
-            .iter()
-            .zip(expenses.iter().cycle())
-            .enumerate()
-            .map(|(i, (&size, &expense))| PackItem { object: i as u64, size, expense })
+const CASES: usize = 48;
+
+fn rng_for(test: u64) -> StdRng {
+    StdRng::seed_from_u64(0x0510_7E57 ^ test)
+}
+
+/// The greedy cache packer never overflows any core's budget, and every
+/// object is either placed or reported as unplaced.
+#[test]
+fn packing_respects_budgets() {
+    let mut rng = rng_for(1);
+    for _ in 0..CASES {
+        let n_items = rng.gen_range(1usize..80);
+        let n_cores = rng.gen_range(1usize..16);
+        let items: Vec<PackItem> = (0..n_items)
+            .map(|i| PackItem {
+                object: i as u64,
+                size: rng.gen_range(1u64..200_000),
+                expense: rng.gen::<f64>() * 1e6,
+            })
             .collect();
+        let capacities: Vec<u64> = (0..n_cores).map(|_| rng.gen_range(1u64..500_000)).collect();
         let packing = pack(&items, &capacities);
-        prop_assert_eq!(packing.placed.len() + packing.unplaced.len(), items.len());
+        assert_eq!(packing.placed.len() + packing.unplaced.len(), items.len());
         let mut used = vec![0u64; capacities.len()];
         for (obj, core) in &packing.placed {
             let size = items.iter().find(|i| i.object == *obj).unwrap().size;
             used[*core as usize] += size;
         }
         for (u, c) in used.iter().zip(capacities.iter()) {
-            prop_assert!(u <= c, "core over budget: {} > {}", u, c);
+            assert!(u <= c, "core over budget: {u} > {c}");
         }
     }
+}
 
-    /// Assignment-table bookkeeping: used + free always equals capacity,
-    /// regardless of the operation sequence.
-    #[test]
-    fn assignment_table_accounting_is_conserved(
-        ops in prop::collection::vec((0u64..32, 1u64..5000, 0u32..4, 0u8..3), 1..200)
-    ) {
+/// Assignment-table bookkeeping: used + free always equals capacity,
+/// regardless of the operation sequence.
+#[test]
+fn assignment_table_accounting_is_conserved() {
+    let mut rng = rng_for(2);
+    for _ in 0..CASES {
         let mut table = AssignmentTable::new(vec![100_000; 4]);
         let mut sizes = std::collections::HashMap::new();
-        for (obj, size, core, action) in ops {
-            match action {
+        for _ in 0..rng.gen_range(1usize..200) {
+            let obj = rng.gen_range(0u64..32);
+            let size = rng.gen_range(1u64..5000);
+            let core = rng.gen_range(0u32..4);
+            match rng.gen_range(0u8..3) {
                 0 => {
                     let size = *sizes.entry(obj).or_insert(size);
                     let _ = table.assign(obj, size, core);
@@ -60,102 +76,137 @@ proptest! {
                 }
             }
             for c in 0..4u32 {
-                prop_assert_eq!(table.used_bytes(c) + table.free_bytes(c), table.capacity(c));
+                assert_eq!(table.used_bytes(c) + table.free_bytes(c), table.capacity(c));
             }
         }
     }
+}
 
-    /// A cache never holds more lines than its capacity and never reports a
-    /// line it did not insert.
-    #[test]
-    fn cache_capacity_is_never_exceeded(
-        lines in prop::collection::vec(0u64..10_000, 1..500)
-    ) {
+/// A cache never holds more lines than its capacity and never reports a
+/// line it did not insert.
+#[test]
+fn cache_capacity_is_never_exceeded() {
+    let mut rng = rng_for(3);
+    for _ in 0..CASES {
         let mut cache = Cache::new(CacheGeometry::new(64 * 64, 4), 64);
         let mut inserted = std::collections::HashSet::new();
-        for line in lines {
+        for _ in 0..rng.gen_range(1usize..500) {
+            let line = rng.gen_range(0u64..10_000);
             cache.insert(line, false);
             inserted.insert(line);
-            prop_assert!(cache.resident_lines() <= cache.capacity_lines());
+            assert!(cache.resident_lines() <= cache.capacity_lines());
         }
         for line in cache.lines() {
-            prop_assert!(inserted.contains(&line));
+            assert!(inserted.contains(&line));
         }
     }
+}
 
-    /// FAT chains produced by consecutive allocations never share clusters.
-    #[test]
-    fn fat_chains_are_disjoint(counts in prop::collection::vec(1usize..20, 1..20)) {
+/// FAT chains produced by consecutive allocations never share clusters.
+#[test]
+fn fat_chains_are_disjoint() {
+    let mut rng = rng_for(4);
+    for _ in 0..CASES {
+        let counts: Vec<usize> = (0..rng.gen_range(1usize..20))
+            .map(|_| rng.gen_range(1usize..20))
+            .collect();
         let total: usize = counts.iter().sum();
         let mut fat = Fat::new(total + 8);
         let mut seen = std::collections::HashSet::new();
         for count in counts {
             let first = fat.alloc_chain(count).unwrap();
             let chain = fat.chain(first).unwrap();
-            prop_assert_eq!(chain.len(), count);
+            assert_eq!(chain.len(), count);
             for cluster in chain {
-                prop_assert!(seen.insert(cluster), "cluster {} allocated twice", cluster);
+                assert!(seen.insert(cluster), "cluster {cluster} allocated twice");
             }
         }
     }
+}
 
-    /// Directory entries survive an encode/decode round trip for arbitrary
-    /// names and metadata.
-    #[test]
-    fn dirent_round_trips(
-        name in "[A-Za-z0-9]{1,12}",
-        ext in "[A-Za-z0-9]{0,3}",
-        cluster in 2u16..0xFFF0,
-        size in 0u32..u32::MAX,
-    ) {
-        let full = if ext.is_empty() { name.clone() } else { format!("{name}.{ext}") };
+/// Directory entries survive an encode/decode round trip for arbitrary
+/// names and metadata.
+#[test]
+fn dirent_round_trips() {
+    const ALNUM: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    let mut rng = rng_for(5);
+    let word = |rng: &mut StdRng, min: usize, max: usize| {
+        let len = rng.gen_range(min..max + 1);
+        (0..len)
+            .map(|_| ALNUM[rng.gen_range(0usize..ALNUM.len())] as char)
+            .collect::<String>()
+    };
+    for _ in 0..4 * CASES {
+        let name = word(&mut rng, 1, 12);
+        let ext = word(&mut rng, 0, 3);
+        let cluster = rng.gen_range(2u16..0xFFF0);
+        let size = rng.gen::<u32>();
+        let full = if ext.is_empty() {
+            name.clone()
+        } else {
+            format!("{name}.{ext}")
+        };
         let entry = DirEntry::file(&full, cluster, size);
         let decoded = DirEntry::decode(&entry.encode()).unwrap();
-        prop_assert_eq!(entry, decoded);
+        assert_eq!(entry, decoded);
         let (n, e) = split_8_3(&full);
-        prop_assert_eq!(decoded.name, n);
-        prop_assert_eq!(decoded.ext, e);
+        assert_eq!(decoded.name, n);
+        assert_eq!(decoded.ext, e);
     }
+}
 
-    /// Searching any existing file in a benchmark volume finds it at the
-    /// right index having examined exactly index + 1 entries.
-    #[test]
-    fn volume_search_finds_every_file(dirs in 1u32..6, files in 1u32..200, probe in 0u32..200) {
+/// Searching any existing file in a benchmark volume finds it at the right
+/// index having examined exactly index + 1 entries.
+#[test]
+fn volume_search_finds_every_file() {
+    let mut rng = rng_for(6);
+    for _ in 0..CASES {
+        let dirs = rng.gen_range(1u32..6);
+        let files = rng.gen_range(1u32..200);
+        let probe = rng.gen_range(0u32..200);
         let volume = Volume::build_benchmark(dirs, files).unwrap();
         let target = probe % files;
         let dir = probe % dirs;
-        let name = o2_suite::fs::synthetic_name(target);
+        let name = synthetic_name(target);
         let (idx, examined) = volume.search(dir, &name).unwrap().unwrap();
-        prop_assert_eq!(idx, target);
-        prop_assert_eq!(examined, target + 1);
-        prop_assert_eq!(volume.total_directory_bytes(),
-            u64::from(dirs) * u64::from(files) * DIRENT_SIZE as u64);
+        assert_eq!(idx, target);
+        assert_eq!(examined, target + 1);
+        assert_eq!(
+            volume.total_directory_bytes(),
+            u64::from(dirs) * u64::from(files) * DIRENT_SIZE as u64
+        );
     }
+}
 
-    /// Simulator sanity for arbitrary small access patterns: costs are
-    /// always at least the L1 latency, re-reading the same address twice in
-    /// a row is never slower the second time, and counters add up.
-    #[test]
-    fn machine_access_costs_are_sane(
-        offsets in prop::collection::vec(0u64..32_768, 1..100),
-        write_mask in prop::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Simulator sanity for arbitrary small access patterns: costs are always
+/// at least the L1 latency, re-reading the same address twice in a row is
+/// never slower the second time, and counters add up.
+#[test]
+fn machine_access_costs_are_sane() {
+    let mut rng = rng_for(7);
+    for _ in 0..CASES {
         let mut cfg = MachineConfig::quad4();
-        cfg.contention = o2_suite::sim::ContentionModel::None;
+        cfg.contention = ContentionModel::None;
         let mut machine = Machine::new(cfg);
         let region = machine.memory_mut().alloc(32_768 + 64, 0);
-        for (offset, write) in offsets.iter().zip(write_mask.iter().cycle()) {
-            let kind = if *write { AccessKind::Write } else { AccessKind::Read };
+        let n_accesses = rng.gen_range(1usize..100);
+        for _ in 0..n_accesses {
+            let offset = rng.gen_range(0u64..32_768);
+            let kind = if rng.gen::<bool>() {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             let first = machine.access(0, region.addr + offset, 8, kind);
             let second = machine.access(0, region.addr + offset, 8, AccessKind::Read);
-            prop_assert!(first >= 3);
-            prop_assert!(second <= first);
+            assert!(first >= 3);
+            assert!(second <= first);
         }
-        // Every access touches one or two lines (8-byte accesses may cross a
-        // line boundary), so the counters bracket the access count.
+        // Every access touches one or two lines (8-byte accesses may cross
+        // a line boundary), so the counters bracket the access count.
         let counters = machine.counters(0);
         let line_touches = counters.l1_hits + counters.l1_misses;
-        prop_assert!(line_touches >= 2 * offsets.len() as u64);
-        prop_assert!(line_touches <= 4 * offsets.len() as u64);
+        assert!(line_touches >= 2 * n_accesses as u64);
+        assert!(line_touches <= 4 * n_accesses as u64);
     }
 }
