@@ -31,7 +31,7 @@ use crate::stats::{RunWindow, SchedStats};
 use crate::sync::LockRegistry;
 use crate::thread::{OpRecord, Thread, ThreadState, ThreadStats};
 use crate::types::{CoreId, Cycles, LockId, ObjectId, ThreadId};
-use o2_sim::{AccessKind, Machine, MachineCounters};
+use o2_sim::{AccessKind, Machine, MachineCounters, MemStats};
 
 /// A thread in transit to a core's migration inbox.
 #[derive(Debug, Clone, Copy)]
@@ -193,6 +193,13 @@ impl Engine {
     /// Scheduler statistics: events processed, parked-core wake-ups, etc.
     pub fn sched_stats(&self) -> SchedStats {
         self.sched_stats
+    }
+
+    /// Memory-system totals of the underlying machine: coherence-directory
+    /// pressure, L1 short-circuits and cache evictions. The memory-side
+    /// counterpart of [`Engine::sched_stats`].
+    pub fn mem_stats(&self) -> MemStats {
+        self.machine.mem_stats()
     }
 
     // ---- running -----------------------------------------------------------
@@ -880,6 +887,11 @@ mod tests {
         let ctr = e.machine().counters(1);
         assert!(ctr.dram_loads > 0);
         assert!(ctr.l1_hits > 0);
+        // The memory-system totals surface through the engine: the second
+        // pass over the region is all L1 short-circuits.
+        let ms = e.mem_stats();
+        assert!(ms.l1_short_circuits >= 64);
+        assert!(ms.directory_entries > 0);
     }
 
     #[test]

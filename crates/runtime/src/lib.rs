@@ -63,4 +63,4 @@ pub use types::{CoreId, Cycles, LockId, ObjectId, ThreadId};
 
 // Re-exported for convenience: policies receive these simulator types in
 // their callbacks.
-pub use o2_sim::{CounterDelta, Machine};
+pub use o2_sim::{CounterDelta, Machine, MemStats};

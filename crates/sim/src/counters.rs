@@ -183,6 +183,28 @@ impl CounterDelta {
     }
 }
 
+/// Machine-wide memory-system totals, exposed by `Machine::mem_stats()`
+/// the same way scheduler behaviour is exposed by `Engine::sched_stats()`.
+///
+/// These are *simulator* diagnostics (how hard the host is working per
+/// simulated access), not architectural counters: directory probes count
+/// slot inspections in the flat coherence directory, and short-circuits
+/// count accesses resolved entirely by the L1 fast path without touching
+/// the directory or interconnect.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Slot inspections performed by the flat coherence directory.
+    pub directory_probes: u64,
+    /// Lines currently tracked by the directory.
+    pub directory_entries: u64,
+    /// Allocated directory slots (power of two).
+    pub directory_capacity: u64,
+    /// Accesses resolved entirely by the L1-hit short-circuit.
+    pub l1_short_circuits: u64,
+    /// Lines evicted from any cache (L1 drops, L2 spills, L3 victims).
+    pub evictions: u64,
+}
+
 /// A snapshot of every core's counters, taken at a specific point in
 /// virtual time.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

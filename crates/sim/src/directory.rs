@@ -1,0 +1,382 @@
+//! The flat coherence directory: an open-addressed hash table from
+//! [`LineAddr`] to [`LineHolders`].
+//!
+//! Every simulated cache miss and every write consults the directory, so it
+//! sits squarely on the memory-system hot path. The previous implementation
+//! was a `std::collections::HashMap` — SipHash on every probe, a heap node
+//! per entry, and pointer chasing on every lookup. This table instead keeps
+//! `(line, holders)` pairs inline in one flat allocation:
+//!
+//! * **Power-of-two capacity, mask indexing.** The slot of a line is
+//!   `fibonacci_hash(line) & (capacity - 1)`; collisions probe linearly,
+//!   which is sequential in memory.
+//! * **Tombstone-free deletion.** Removal backward-shifts the following
+//!   cluster instead of leaving tombstones, so probe chains never grow from
+//!   churn — important because lines enter and leave the directory with
+//!   every eviction.
+//! * **Inline values.** A slot is 24 bytes (`line`, `cores`, `chips`);
+//!   a probe touches at most a cache line or two.
+//!
+//! The table counts its probes (slot inspections) so
+//! `Machine::mem_stats()` can report directory pressure.
+
+use crate::cache::LineAddr;
+
+/// Which caches hold a line right now.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineHolders {
+    /// Bitmask of cores whose private (L1/L2) caches hold the line.
+    pub cores: u64,
+    /// Bitmask of chips whose shared L3 holds the line.
+    pub chips: u64,
+}
+
+impl LineHolders {
+    /// Whether no cache at all holds the line.
+    pub fn is_empty(&self) -> bool {
+        self.cores == 0 && self.chips == 0
+    }
+
+    /// Whether `core` (on `chip`) is the *only* holder: no other core's
+    /// private cache and no other chip's L3 has a copy. (The holder's own
+    /// chip may retain a victim copy in its L3 — a write never invalidates
+    /// that one.)
+    pub fn sole_holder(&self, core: u32, chip: u32) -> bool {
+        self.cores == 1u64 << core && self.chips & !(1u64 << chip) == 0
+    }
+}
+
+/// Sentinel for an empty slot. Real line addresses are byte addresses
+/// divided by the line size, so `u64::MAX` is unreachable.
+const EMPTY: LineAddr = LineAddr::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    line: LineAddr,
+    holders: LineHolders,
+}
+
+const VACANT: Slot = Slot {
+    line: EMPTY,
+    holders: LineHolders { cores: 0, chips: 0 },
+};
+
+/// Open-addressed `LineAddr → LineHolders` table (see module docs).
+#[derive(Debug, Clone)]
+pub struct FlatDirectory {
+    slots: Box<[Slot]>,
+    mask: usize,
+    len: usize,
+    probes: u64,
+}
+
+impl Default for FlatDirectory {
+    fn default() -> Self {
+        Self::with_capacity(1024)
+    }
+}
+
+impl FlatDirectory {
+    /// Creates a table with at least `cap` slots (rounded up to a power of
+    /// two, minimum 8).
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.next_power_of_two().max(8);
+        Self {
+            slots: vec![VACANT; cap].into_boxed_slice(),
+            mask: cap - 1,
+            len: 0,
+            probes: 0,
+        }
+    }
+
+    /// Number of lines currently tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the directory tracks no lines at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocated slots (power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Cumulative slot inspections across all operations.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    #[inline]
+    fn home(&self, line: LineAddr) -> usize {
+        // Fibonacci hashing: one multiply, then keep the high bits that
+        // the mask would otherwise discard.
+        let h = line.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h >> 32) as usize & self.mask
+    }
+
+    /// Index of the slot holding `line`, if present.
+    #[inline]
+    fn find(&mut self, line: LineAddr) -> Option<usize> {
+        let mut i = self.home(line);
+        loop {
+            self.probes += 1;
+            let l = self.slots[i].line;
+            if l == line {
+                return Some(i);
+            }
+            if l == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// The holders of a line, copied, or `None` if untracked.
+    #[inline]
+    pub fn get(&mut self, line: LineAddr) -> Option<LineHolders> {
+        self.find(line).map(|i| self.slots[i].holders)
+    }
+
+    /// Like [`FlatDirectory::get`] but without counting probes: for
+    /// diagnostics and assertions that must not skew
+    /// [`FlatDirectory::probes`].
+    pub fn peek(&self, line: LineAddr) -> Option<LineHolders> {
+        let mut i = self.home(line);
+        loop {
+            let l = self.slots[i].line;
+            if l == line {
+                return Some(self.slots[i].holders);
+            }
+            if l == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Mutable access to the holders of a line, if tracked.
+    #[inline]
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut LineHolders> {
+        self.find(line).map(move |i| &mut self.slots[i].holders)
+    }
+
+    /// Mutable access to the holders of a line, inserting an empty entry if
+    /// the line is untracked (the equivalent of `entry(..).or_default()`).
+    #[inline]
+    pub fn entry(&mut self, line: LineAddr) -> &mut LineHolders {
+        // Grow at 7/8 load so probe chains stay short.
+        if (self.len + 1) * 8 > self.capacity() * 7 {
+            self.grow();
+        }
+        let mut i = self.home(line);
+        loop {
+            self.probes += 1;
+            let l = self.slots[i].line;
+            if l == line {
+                return &mut self.slots[i].holders;
+            }
+            if l == EMPTY {
+                self.slots[i] = Slot {
+                    line,
+                    holders: LineHolders::default(),
+                };
+                self.len += 1;
+                return &mut self.slots[i].holders;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Removes a line, returning its holders if it was tracked. Deletion
+    /// backward-shifts the following cluster — no tombstones.
+    pub fn remove(&mut self, line: LineAddr) -> Option<LineHolders> {
+        let mut hole = self.find(line)?;
+        let removed = self.slots[hole].holders;
+        self.len -= 1;
+        let mut i = hole;
+        loop {
+            i = (i + 1) & self.mask;
+            self.probes += 1;
+            let l = self.slots[i].line;
+            if l == EMPTY {
+                break;
+            }
+            // The entry at `i` may move into the hole only if the hole lies
+            // on its probe path, i.e. cyclically within [home(l), i).
+            let h = self.home(l);
+            let on_path = if h <= i {
+                h <= hole && hole < i
+            } else {
+                hole >= h || hole < i
+            };
+            if on_path {
+                self.slots[hole] = self.slots[i];
+                hole = i;
+            }
+        }
+        self.slots[hole] = VACANT;
+        Some(removed)
+    }
+
+    /// Drops every entry (capacity is retained).
+    pub fn clear(&mut self) {
+        self.slots.fill(VACANT);
+        self.len = 0;
+    }
+
+    /// Iterates over every tracked `(line, holders)` pair in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, LineHolders)> + '_ {
+        self.slots
+            .iter()
+            .filter(|s| s.line != EMPTY)
+            .map(|s| (s.line, s.holders))
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.capacity() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![VACANT; new_cap].into_boxed_slice());
+        self.mask = new_cap - 1;
+        for slot in old.iter().filter(|s| s.line != EMPTY) {
+            // Plain reinsertion; the table is known not to contain the key.
+            let mut i = self.home(slot.line);
+            loop {
+                self.probes += 1;
+                if self.slots[i].line == EMPTY {
+                    self.slots[i] = *slot;
+                    break;
+                }
+                i = (i + 1) & self.mask;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut d = FlatDirectory::default();
+        d.entry(42).cores = 0b1010;
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get(42).unwrap().cores, 0b1010);
+        assert_eq!(d.get(43), None);
+        let h = d.remove(42).unwrap();
+        assert_eq!(h.cores, 0b1010);
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.get(42), None);
+    }
+
+    #[test]
+    fn entry_is_stable_across_reinsertion() {
+        let mut d = FlatDirectory::with_capacity(8);
+        d.entry(1).chips = 7;
+        d.entry(1).cores = 3;
+        assert_eq!(d.len(), 1);
+        let h = d.get(1).unwrap();
+        assert_eq!((h.cores, h.chips), (3, 7));
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut d = FlatDirectory::with_capacity(8);
+        for line in 0..1000u64 {
+            d.entry(line).cores = line;
+        }
+        assert_eq!(d.len(), 1000);
+        assert!(d.capacity() >= 1024);
+        for line in 0..1000u64 {
+            assert_eq!(d.get(line).unwrap().cores, line, "line {line}");
+        }
+    }
+
+    #[test]
+    fn backward_shift_keeps_colliding_keys_reachable() {
+        // Small table, many keys: every cluster shape gets exercised.
+        let mut d = FlatDirectory::with_capacity(8);
+        let keys: Vec<u64> = (0..6).map(|i| i * 8).collect();
+        for &k in &keys {
+            d.entry(k).cores = k + 1;
+        }
+        // Remove keys one by one; the remainder must stay reachable.
+        for (n, &k) in keys.iter().enumerate() {
+            assert!(d.remove(k).is_some(), "key {k}");
+            assert_eq!(d.remove(k), None);
+            for &rest in &keys[n + 1..] {
+                assert_eq!(d.get(rest).unwrap().cores, rest + 1, "key {rest}");
+            }
+        }
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn churn_against_hashmap_reference() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashMap;
+        let mut d = FlatDirectory::with_capacity(8);
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        // Deterministic seeded churn: inserts and removals over a small key
+        // space so clusters form and dissolve repeatedly.
+        let mut rng = StdRng::seed_from_u64(0x1234_5678_9abc_def0);
+        let mut next = move || rng.gen::<u64>();
+        for step in 0..100_000u64 {
+            let key = next() % 512;
+            if next() % 3 == 0 {
+                let a = d.remove(key).map(|h| h.cores);
+                let b = reference.remove(&key);
+                assert_eq!(a, b, "remove diverged at step {step}");
+            } else {
+                d.entry(key).cores = step;
+                reference.insert(key, step);
+            }
+            assert_eq!(d.len(), reference.len(), "len diverged at step {step}");
+        }
+        for (&k, &v) in &reference {
+            assert_eq!(d.get(k).map(|h| h.cores), Some(v), "key {k}");
+        }
+    }
+
+    #[test]
+    fn sole_holder_semantics() {
+        let h = LineHolders {
+            cores: 1 << 5,
+            chips: 1 << 1,
+        };
+        assert!(h.sole_holder(5, 1));
+        assert!(!h.sole_holder(5, 2), "foreign-chip L3 copy blocks");
+        assert!(!h.sole_holder(4, 1));
+        let shared = LineHolders {
+            cores: (1 << 5) | (1 << 6),
+            chips: 0,
+        };
+        assert!(!shared.sole_holder(5, 1));
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut d = FlatDirectory::with_capacity(8);
+        for line in 0..100u64 {
+            d.entry(line);
+        }
+        let cap = d.capacity();
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.capacity(), cap);
+        assert_eq!(d.get(5), None);
+    }
+
+    #[test]
+    fn probes_accumulate() {
+        let mut d = FlatDirectory::default();
+        let before = d.probes();
+        d.entry(9);
+        d.get(9);
+        d.get(10);
+        assert!(d.probes() > before);
+    }
+}

@@ -11,8 +11,9 @@
 //!
 //! * per-core set-associative L1 and L2 caches and a per-chip victim L3
 //!   ([`cache`], [`machine`]),
-//! * a coherence directory and hop-based interconnect with optional
-//!   contention modelling ([`interconnect`]),
+//! * a flat open-addressed coherence directory ([`directory`]) and a
+//!   hop-based interconnect with optional contention modelling
+//!   ([`interconnect`]),
 //! * the measured latencies from Section 5 of the paper as the default
 //!   cost model ([`config`], [`latency`]),
 //! * per-core event counters equivalent to the AMD performance counters
@@ -45,6 +46,7 @@
 pub mod cache;
 pub mod config;
 pub mod counters;
+pub mod directory;
 pub mod interconnect;
 pub mod latency;
 pub mod machine;
@@ -54,7 +56,8 @@ pub mod trace;
 
 pub use cache::{Cache, Evicted, LineAddr, Probe};
 pub use config::{CacheGeometry, ContentionModel, LatencyConfig, MachineConfig};
-pub use counters::{CoreCounters, CounterDelta, MachineCounters};
+pub use counters::{CoreCounters, CounterDelta, MachineCounters, MemStats};
+pub use directory::{FlatDirectory, LineHolders};
 pub use interconnect::{Interconnect, InterconnectStats, MessageKind};
 pub use latency::{AccessOutcome, LatencyModel};
 pub use machine::{AccessKind, Machine};

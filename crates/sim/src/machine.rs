@@ -6,12 +6,27 @@
 //! corresponding latency, moves lines between caches the way the AMD
 //! memory system of the paper would, and updates the per-core event
 //! counters that CoreTime's monitoring reads.
-
-use std::collections::HashMap;
+//!
+//! ## The fast path
+//!
+//! Nearly every simulated access hits the requesting core's L1, so that
+//! case is a straight line: one probe of the flat L1 slab, one counter
+//! bump, done — no directory, no interconnect, no outcome dispatch. Writes
+//! take the same shortcut when the L1 way carries the *exclusivity hint*
+//! (this core is known to be the line's only holder, MESI's E/M states):
+//! a write to an exclusive line cannot need invalidations, so the
+//! coherence directory is never consulted. The hint is set when a write
+//! completes (the writer is sole holder by construction) or a DRAM fill
+//! installs a line nobody else held, and cleared whenever another core
+//! obtains a copy. Correctness never depends on the hint: a cleared hint
+//! only sends the access down the slow path, and
+//! `tests/memory_model.rs` pins the whole model bit-for-bit against the
+//! pre-refactor implementation.
 
 use crate::cache::{Cache, LineAddr, Probe};
 use crate::config::MachineConfig;
-use crate::counters::{CoreCounters, MachineCounters};
+use crate::counters::{CoreCounters, MachineCounters, MemStats};
+use crate::directory::{FlatDirectory, LineHolders};
 use crate::interconnect::{Interconnect, InterconnectStats, MessageKind};
 use crate::latency::{AccessOutcome, LatencyModel};
 use crate::memory::{Addr, SimMemory};
@@ -23,21 +38,6 @@ pub enum AccessKind {
     Read,
     /// A store (invalidates other copies).
     Write,
-}
-
-/// Which caches hold a line right now.
-#[derive(Debug, Clone, Copy, Default)]
-struct LineHolders {
-    /// Bitmask of cores whose private (L1/L2) caches hold the line.
-    cores: u64,
-    /// Bitmask of chips whose shared L3 holds the line.
-    chips: u64,
-}
-
-impl LineHolders {
-    fn is_empty(&self) -> bool {
-        self.cores == 0 && self.chips == 0
-    }
 }
 
 /// Per-core state used to detect sequential streams (models hardware
@@ -57,13 +57,17 @@ pub struct Machine {
     l1: Vec<Cache>,
     l2: Vec<Cache>,
     l3: Vec<Cache>,
-    directory: HashMap<LineAddr, LineHolders>,
+    directory: FlatDirectory,
     interconnect: Interconnect,
     memory: SimMemory,
     counters: Vec<CoreCounters>,
     streams: Vec<StreamState>,
     /// Virtual-time hint used only for interconnect contention accounting.
     now_hint: u64,
+    /// Accesses resolved entirely by the L1 fast path.
+    l1_short_circuits: u64,
+    /// Lines evicted from any cache (L1 drops, L2 spills, L3 victims).
+    evictions: u64,
 }
 
 impl Machine {
@@ -95,13 +99,15 @@ impl Machine {
             l1,
             l2,
             l3,
-            directory: HashMap::new(),
+            directory: FlatDirectory::default(),
             interconnect,
             memory,
             counters: vec![CoreCounters::default(); cores],
             streams: vec![StreamState::default(); cores],
             cfg,
             now_hint: 0,
+            l1_short_circuits: 0,
+            evictions: 0,
         }
     }
 
@@ -128,6 +134,17 @@ impl Machine {
     /// Interconnect statistics so far.
     pub fn interconnect_stats(&self) -> InterconnectStats {
         self.interconnect.stats()
+    }
+
+    /// Memory-system totals: directory pressure, fast-path hits, evictions.
+    pub fn mem_stats(&self) -> MemStats {
+        MemStats {
+            directory_probes: self.directory.probes(),
+            directory_entries: self.directory.len() as u64,
+            directory_capacity: self.directory.capacity() as u64,
+            l1_short_circuits: self.l1_short_circuits,
+            evictions: self.evictions,
+        }
     }
 
     /// Event counters of one core.
@@ -175,10 +192,40 @@ impl Machine {
         let len = len.max(1);
         let first = self.line_of(addr);
         let last = self.line_of(addr + len - 1);
+        // Per-access setup, hoisted out of the per-line loop: the chip
+        // lookup, the L1 hit cost, and a local accumulator for the hit
+        // counters so the fast loop touches no per-core state but the
+        // stream slot.
+        let chip = self.cfg.chip_of(core);
+        let c = core as usize;
+        let l1_hit_cost = self.lat.config().l1_hit;
         let mut total = 0;
+        let mut fast_hits = 0u64;
         for line in first..=last {
-            let (cost, _) = self.access_line(core, line, kind);
-            total += cost;
+            if kind == AccessKind::Read {
+                if self.l1[c].probe_and_touch(line) == Probe::Hit {
+                    self.streams[c] = StreamState {
+                        last_line: Some(line),
+                        last_was_far: false,
+                    };
+                    fast_hits += 1;
+                    total += l1_hit_cost;
+                } else {
+                    // The L1 probe above already missed — enter the slow
+                    // path directly rather than re-scanning the set.
+                    let (cost, _) = self.access_line_slow(core, chip, line, kind);
+                    total += cost;
+                }
+            } else {
+                let (cost, _) = self.access_line_at(core, chip, line, kind);
+                total += cost;
+            }
+        }
+        if fast_hits > 0 {
+            let ctr = &mut self.counters[c];
+            ctr.l1_hits += fast_hits;
+            ctr.busy_cycles += fast_hits * l1_hit_cost;
+            self.l1_short_circuits += fast_hits;
         }
         total
     }
@@ -191,6 +238,68 @@ impl Machine {
         kind: AccessKind,
     ) -> (u64, AccessOutcome) {
         let chip = self.cfg.chip_of(core);
+        self.access_line_at(core, chip, line, kind)
+    }
+
+    /// `access_line` with the core→chip lookup hoisted out (the multi-line
+    /// `access` loop computes it once).
+    fn access_line_at(
+        &mut self,
+        core: u32,
+        chip: u32,
+        line: LineAddr,
+        kind: AccessKind,
+    ) -> (u64, AccessOutcome) {
+        let c = core as usize;
+
+        // ---- L1-hit short-circuit --------------------------------------
+        // A read hitting the local L1 touches nothing but the L1 and the
+        // core's own counters; a write additionally requires the
+        // exclusivity hint (sole holder ⇒ no invalidations possible), and
+        // must mirror the dirty bit into the inclusive L2.
+        match kind {
+            AccessKind::Read => {
+                if self.l1[c].probe_and_touch(line) == Probe::Hit {
+                    return self.finish_l1_fast_path(c, line);
+                }
+            }
+            AccessKind::Write => {
+                if let Some(excl) = self.l1[c].touch_write(line) {
+                    if excl {
+                        // `peek` rather than `get`: the diagnostic must not
+                        // skew the probe counter debug-vs-release.
+                        debug_assert!(
+                            self.directory
+                                .peek(line)
+                                .unwrap_or_default()
+                                .sole_holder(core, chip),
+                            "stale exclusivity hint on line {line:#x}"
+                        );
+                        self.l2[c].mark_dirty(line);
+                        return self.finish_l1_fast_path(c, line);
+                    }
+                    // Resident but possibly shared: the write continues on
+                    // the slow path below (directory consultation), with
+                    // the probe/touch/dirty work already done.
+                    let cost = self.finish_write_hit(core, chip, c, line);
+                    return (cost, AccessOutcome::L1Hit);
+                }
+            }
+        }
+
+        self.access_line_slow(core, chip, line, kind)
+    }
+
+    /// The miss path: the caller has already probed the requesting core's
+    /// L1 (and, for writes, set the dirty bit on a hit) — the line is NOT
+    /// in its L1.
+    fn access_line_slow(
+        &mut self,
+        core: u32,
+        chip: u32,
+        line: LineAddr,
+        kind: AccessKind,
+    ) -> (u64, AccessOutcome) {
         let c = core as usize;
         let streamed_hint = self.is_streamed(core, line);
         let outcome = self.locate_and_fill(core, chip, line);
@@ -260,6 +369,8 @@ impl Machine {
             cost += self.invalidate_other_copies(core, chip, line);
             self.l1[c].mark_dirty(line);
             self.l2[c].mark_dirty(line);
+            // The writer is the sole holder now.
+            self.l1[c].set_excl(line);
         }
 
         // Update the stream detector: anything that left the private caches
@@ -272,6 +383,38 @@ impl Machine {
 
         self.counters[c].busy_cycles += cost;
         (cost, outcome)
+    }
+
+    /// Shared tail of the L1 fast path: counters, stream state, bookkeeping.
+    #[inline]
+    fn finish_l1_fast_path(&mut self, c: usize, line: LineAddr) -> (u64, AccessOutcome) {
+        let cost = self.lat.config().l1_hit;
+        let ctr = &mut self.counters[c];
+        ctr.l1_hits += 1;
+        ctr.busy_cycles += cost;
+        self.streams[c] = StreamState {
+            last_line: Some(line),
+            last_was_far: false,
+        };
+        self.l1_short_circuits += 1;
+        (cost, AccessOutcome::L1Hit)
+    }
+
+    /// Slow tail of a write that hit the L1 without the exclusivity hint:
+    /// consult the directory, invalidate remote copies, become exclusive.
+    fn finish_write_hit(&mut self, core: u32, chip: u32, c: usize, line: LineAddr) -> u64 {
+        let mut cost = self.lat.config().l1_hit;
+        cost += self.invalidate_other_copies(core, chip, line);
+        self.l2[c].mark_dirty(line);
+        self.l1[c].set_excl(line);
+        self.streams[c] = StreamState {
+            last_line: Some(line),
+            last_was_far: false,
+        };
+        let ctr = &mut self.counters[c];
+        ctr.l1_hits += 1;
+        ctr.busy_cycles += cost;
+        cost
     }
 
     /// Warms caches by performing reads on behalf of `core` without
@@ -377,17 +520,29 @@ impl Machine {
         (from_chip + 1) % self.cfg.chips
     }
 
+    /// Clears the exclusivity hint of every core in `cores_mask`: they are
+    /// about to share the line with the requester.
+    fn clear_excl_holders(&mut self, cores_mask: u64, line: LineAddr) {
+        let mut bits = cores_mask;
+        while bits != 0 {
+            let other = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.l1[other].clear_excl(line);
+        }
+    }
+
     /// Finds where a line lives, moves it into the requesting core's private
-    /// caches, and returns the access outcome.
+    /// caches, and returns the access outcome. Precondition: the line is not
+    /// in the requesting core's L1 (every caller has already probed it), so
+    /// the search starts at the L2.
     fn locate_and_fill(&mut self, core: u32, chip: u32, line: LineAddr) -> AccessOutcome {
         let c = core as usize;
 
-        if self.l1[c].probe_and_touch(line) == Probe::Hit {
-            return AccessOutcome::L1Hit;
-        }
         if self.l2[c].probe_and_touch(line) == Probe::Hit {
             // Refill L1 (inclusive in L2): L1 victims are simply dropped.
-            self.l1[c].insert(line, false);
+            if self.l1[c].insert(line, false).is_some() {
+                self.evictions += 1;
+            }
             return AccessOutcome::L2Hit;
         }
 
@@ -395,14 +550,21 @@ impl Machine {
         // the requester's private caches and leaves the L3.
         if self.l3[chip as usize].probe_and_touch(line) == Probe::Hit {
             let dirty = self.l3[chip as usize].invalidate(line).unwrap_or(false);
-            let holders = self.directory.entry(line).or_default();
+            let holders = self.directory.entry(line);
             holders.chips &= !(1u64 << chip);
+            let h = *holders;
+            // Same-chip peers lose exclusivity; if nobody else holds the
+            // line the requester gains it.
+            self.clear_excl_holders(h.cores, line);
             self.fill_private(core, chip, line, dirty);
+            if h.cores == 0 && h.chips & !(1u64 << chip) == 0 {
+                self.l1[c].set_excl(line);
+            }
             return AccessOutcome::L3Hit;
         }
 
         // Not on this chip: consult the directory for remote copies.
-        let holders = self.directory.get(&line).copied().unwrap_or_default();
+        let holders = self.directory.get(line).unwrap_or_default();
         let remote = self.nearest_remote_holder(core, chip, holders);
         let streamed = self.is_streamed(core, line);
         let outcome = match remote {
@@ -413,13 +575,20 @@ impl Machine {
             None => AccessOutcome::Dram {
                 hops: self
                     .interconnect
-                    .hops(chip, self.memory.home_chip(line * self.cfg.line_size)),
+                    .hops(chip, self.memory.home_chip_of_line(line)),
                 streamed,
             },
         };
         // The data (a read copy) is installed in the requester's caches; any
-        // remote copies stay where they are for reads.
+        // remote copies stay where they are for reads — but their holders
+        // are no longer exclusive.
+        self.clear_excl_holders(holders.cores, line);
         self.fill_private(core, chip, line, false);
+        if holders.is_empty() {
+            // Fresh DRAM fill nobody else holds: the requester starts
+            // exclusive, so a following write skips the directory.
+            self.l1[c].set_excl(line);
+        }
         outcome
     }
 
@@ -433,24 +602,23 @@ impl Machine {
     /// excluding the requesting core's own private caches.
     fn nearest_remote_holder(&self, core: u32, chip: u32, holders: LineHolders) -> Option<u32> {
         let mut best: Option<(u32, u32)> = None; // (hops, chip)
-        for other in 0..self.cfg.total_cores() {
-            if other == core {
-                continue;
-            }
-            if holders.cores & (1u64 << other) != 0 {
-                let oc = self.cfg.chip_of(other);
-                let hops = self.interconnect.hops(chip, oc);
-                if best.map_or(true, |(h, _)| hops < h) {
-                    best = Some((hops, oc));
-                }
+        let mut cores = holders.cores & !(1u64 << core);
+        while cores != 0 {
+            let other = cores.trailing_zeros();
+            cores &= cores - 1;
+            let oc = self.cfg.chip_of(other);
+            let hops = self.interconnect.hops(chip, oc);
+            if best.map_or(true, |(h, _)| hops < h) {
+                best = Some((hops, oc));
             }
         }
-        for other_chip in 0..self.cfg.chips {
-            if holders.chips & (1u64 << other_chip) != 0 && other_chip != chip {
-                let hops = self.interconnect.hops(chip, other_chip);
-                if best.map_or(true, |(h, _)| hops < h) {
-                    best = Some((hops, other_chip));
-                }
+        let mut chips = holders.chips & !(1u64 << chip);
+        while chips != 0 {
+            let other_chip = chips.trailing_zeros();
+            chips &= chips - 1;
+            let hops = self.interconnect.hops(chip, other_chip);
+            if best.map_or(true, |(h, _)| hops < h) {
+                best = Some((hops, other_chip));
             }
         }
         best.map(|(_, c)| c)
@@ -461,57 +629,63 @@ impl Machine {
     fn fill_private(&mut self, core: u32, chip: u32, line: LineAddr, dirty: bool) {
         let c = core as usize;
         if let Some(victim) = self.l2[c].insert(line, dirty) {
+            self.evictions += 1;
             // Maintain L1 inclusivity in L2.
             self.l1[c].invalidate(victim.line);
-            if let Some(h) = self.directory.get_mut(&victim.line) {
+            if let Some(h) = self.directory.get_mut(victim.line) {
                 h.cores &= !(1u64 << core);
             }
             // Spill the victim into the chip's L3 unless some cache already
             // holds it there.
             if let Some(l3_victim) = self.l3[chip as usize].insert(victim.line, victim.dirty) {
-                if let Some(h) = self.directory.get_mut(&l3_victim.line) {
+                self.evictions += 1;
+                if let Some(h) = self.directory.get_mut(l3_victim.line) {
                     h.chips &= !(1u64 << chip);
                     if h.is_empty() {
-                        self.directory.remove(&l3_victim.line);
+                        self.directory.remove(l3_victim.line);
                     }
                 }
             }
-            let h = self.directory.entry(victim.line).or_default();
-            h.chips |= 1u64 << chip;
+            self.directory.entry(victim.line).chips |= 1u64 << chip;
         }
-        self.l1[c].insert(line, dirty);
-        let h = self.directory.entry(line).or_default();
-        h.cores |= 1u64 << core;
+        if self.l1[c].insert(line, dirty).is_some() {
+            self.evictions += 1;
+        }
+        self.directory.entry(line).cores |= 1u64 << core;
     }
 
     /// Invalidates every copy of `line` outside `core`'s private caches and
     /// returns the extra cycles charged to the writer.
     fn invalidate_other_copies(&mut self, core: u32, chip: u32, line: LineAddr) -> u64 {
-        let holders = match self.directory.get(&line) {
-            Some(h) => *h,
+        let holders = match self.directory.get(line) {
+            Some(h) => h,
             None => return 0,
         };
-        let mut invalidated = 0u64;
-        for other in 0..self.cfg.total_cores() {
-            if other == core {
-                continue;
-            }
-            if holders.cores & (1u64 << other) != 0 {
-                let o = other as usize;
-                self.l1[o].invalidate(line);
-                self.l2[o].invalidate(line);
-                self.counters[o].invalidations_received += 1;
-                invalidated += 1;
-            }
+        // Sole holder (modulo a victim copy in the writer's own L3): the
+        // loops below would find nothing — skip them without touching the
+        // other cores' caches at all.
+        if holders.sole_holder(core, chip) {
+            return 0;
         }
-        for other_chip in 0..self.cfg.chips {
-            if holders.chips & (1u64 << other_chip) != 0 && other_chip != chip {
-                self.l3[other_chip as usize].invalidate(line);
-                invalidated += 1;
-            }
+        let mut invalidated = 0u64;
+        let mut cores = holders.cores & !(1u64 << core);
+        while cores != 0 {
+            let o = cores.trailing_zeros() as usize;
+            cores &= cores - 1;
+            self.l1[o].invalidate(line);
+            self.l2[o].invalidate(line);
+            self.counters[o].invalidations_received += 1;
+            invalidated += 1;
+        }
+        let mut chips = holders.chips & !(1u64 << chip);
+        while chips != 0 {
+            let oc = chips.trailing_zeros() as usize;
+            chips &= chips - 1;
+            self.l3[oc].invalidate(line);
+            invalidated += 1;
         }
         if invalidated > 0 {
-            let h = self.directory.entry(line).or_default();
+            let h = self.directory.entry(line);
             h.cores = 1u64 << core;
             h.chips &= 1u64 << chip;
             self.counters[core as usize].invalidations_sent += invalidated;
@@ -721,5 +895,54 @@ mod tests {
         let m = machine();
         let snap = m.snapshot_counters();
         assert_eq!(snap.num_cores(), 16);
+    }
+
+    #[test]
+    fn repeat_writes_to_private_line_take_the_short_circuit() {
+        let mut m = machine();
+        let r = m.memory_mut().alloc(64, 0);
+        let line = m.line_of(r.addr);
+        // Fill from DRAM (nobody else holds it → exclusive on arrival),
+        // then write it repeatedly.
+        m.access_line(0, line, AccessKind::Read);
+        let before = m.mem_stats().l1_short_circuits;
+        for _ in 0..10 {
+            let (cost, out) = m.access_line(0, line, AccessKind::Write);
+            assert_eq!(out, AccessOutcome::L1Hit);
+            assert_eq!(cost, 3);
+        }
+        assert_eq!(m.mem_stats().l1_short_circuits, before + 10);
+        // The dirty bit reached the L2 so a later spill writes back.
+        assert_eq!(m.counters(0).invalidations_sent, 0);
+    }
+
+    #[test]
+    fn shared_line_write_does_not_short_circuit() {
+        let mut m = machine();
+        let r = m.memory_mut().alloc(64, 0);
+        let line = m.line_of(r.addr);
+        m.access_line(0, line, AccessKind::Read);
+        m.access_line(1, line, AccessKind::Read);
+        // Core 0's copy is no longer exclusive: the write must invalidate.
+        m.access_line(0, line, AccessKind::Write);
+        assert_eq!(m.counters(0).invalidations_sent, 1);
+        assert!(!m.in_private_cache(1, line));
+        // But the *next* write is exclusive again and short-circuits.
+        let before = m.mem_stats().l1_short_circuits;
+        m.access_line(0, line, AccessKind::Write);
+        assert_eq!(m.mem_stats().l1_short_circuits, before + 1);
+        assert_eq!(m.counters(0).invalidations_sent, 1);
+    }
+
+    #[test]
+    fn mem_stats_track_directory_and_evictions() {
+        let mut m = machine();
+        let r = m.memory_mut().alloc(4 * 1024 * 1024, 0);
+        m.access(0, r.addr, 4 * 1024 * 1024, AccessKind::Read);
+        let stats = m.mem_stats();
+        assert!(stats.directory_probes > 0);
+        assert!(stats.directory_entries > 0);
+        assert!(stats.evictions > 0, "{stats:?}");
+        assert!(stats.directory_capacity.is_power_of_two());
     }
 }

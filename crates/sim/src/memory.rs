@@ -127,6 +127,13 @@ impl SimMemory {
         }
     }
 
+    /// The chip whose DRAM bank backs a cache line (a byte address divided
+    /// by the line size). Hot-path variant of [`SimMemory::home_chip`] for
+    /// callers that already work in line addresses.
+    pub fn home_chip_of_line(&self, line: u64) -> u32 {
+        self.home_chip(line * self.line_size)
+    }
+
     /// Total bytes allocated so far.
     pub fn allocated_bytes(&self) -> u64 {
         self.regions.values().map(|r| r.size).sum()
