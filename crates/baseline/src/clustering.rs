@@ -10,8 +10,8 @@
 use std::collections::{HashMap, HashSet};
 
 use o2_runtime::{
-    CoreId, CounterDelta, EpochView, ObjectId, OpContext, Placement, PolicyCommand, SchedPolicy,
-    ThreadId,
+    CoreId, CounterDelta, DenseObjectId, EpochView, OpContext, Placement, PolicyCommand,
+    SchedPolicy, ThreadId,
 };
 
 /// Sharing-aware thread clustering.
@@ -25,8 +25,8 @@ pub struct ThreadClustering {
     chips: u32,
     cores_per_chip: u32,
     similarity_threshold: f64,
-    /// Objects each thread touched since the last epoch.
-    access_sets: HashMap<ThreadId, HashSet<ObjectId>>,
+    /// Objects each thread touched since the last epoch (dense ids).
+    access_sets: HashMap<ThreadId, HashSet<DenseObjectId>>,
     /// Number of rehoming rounds performed (at most one per epoch when the
     /// clustering changes).
     reclusterings: u64,
@@ -59,7 +59,7 @@ impl ThreadClustering {
         self.reclusterings
     }
 
-    fn similarity(a: &HashSet<ObjectId>, b: &HashSet<ObjectId>) -> f64 {
+    fn similarity(a: &HashSet<DenseObjectId>, b: &HashSet<DenseObjectId>) -> f64 {
         if a.is_empty() && b.is_empty() {
             return 0.0;
         }
@@ -156,8 +156,8 @@ mod tests {
 
     #[test]
     fn similarity_is_jaccard() {
-        let a: HashSet<ObjectId> = [1, 2, 3].into_iter().collect();
-        let b: HashSet<ObjectId> = [2, 3, 4].into_iter().collect();
+        let a: HashSet<DenseObjectId> = [1, 2, 3].into_iter().collect();
+        let b: HashSet<DenseObjectId> = [2, 3, 4].into_iter().collect();
         let s = ThreadClustering::similarity(&a, &b);
         assert!((s - 0.5).abs() < 1e-9);
         let empty = HashSet::new();
@@ -182,7 +182,7 @@ mod tests {
         // clustering degenerates to a single cluster.
         let mut p = ThreadClustering::new(4, 4);
         for t in 0..8usize {
-            p.access_sets.insert(t, (0..20u64).collect());
+            p.access_sets.insert(t, (0..20u32).collect());
         }
         let clusters = p.cluster();
         assert_eq!(clusters.len(), 1);

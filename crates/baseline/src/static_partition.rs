@@ -6,16 +6,27 @@
 //! static partitioning performs like CoreTime, but on shifting workloads
 //! (Figure 4b) it cannot adapt.
 
-use std::collections::HashMap;
+use o2_runtime::{
+    CoreId, DenseObjectId, ObjectDescriptor, ObjectId, OpContext, Placement, SchedPolicy,
+};
 
-use o2_runtime::{CoreId, ObjectDescriptor, ObjectId, OpContext, Placement, SchedPolicy};
+/// Sentinel for "dense id not registered with this policy".
+const UNASSIGNED: CoreId = CoreId::MAX;
 
 /// Round-robin static partitioning of registered objects across cores.
+///
+/// The table is a plain slab indexed by the dense object id the runtime
+/// hands out at registration, so `ct_start` is a single bounds-checked
+/// array read.
 #[derive(Debug, Clone)]
 pub struct StaticPartition {
     cores: u32,
     next: u32,
-    assignments: HashMap<ObjectId, CoreId>,
+    /// Core per dense object id (`UNASSIGNED` = not registered).
+    by_object: Vec<CoreId>,
+    /// External keys, kept for the reporting API only.
+    keys: Vec<ObjectId>,
+    registered: usize,
 }
 
 impl StaticPartition {
@@ -24,23 +35,33 @@ impl StaticPartition {
         Self {
             cores: cores.max(1),
             next: 0,
-            assignments: HashMap::new(),
+            by_object: Vec::new(),
+            keys: Vec::new(),
+            registered: 0,
         }
     }
 
-    /// The core an object was assigned to, if registered.
+    /// The core an object (by external key) was assigned to, if
+    /// registered. A reporting/test helper, hence the linear scan; the
+    /// scheduling path uses the dense-id slab. Gap slots in `keys` are
+    /// zero-filled, so only slots with a real assignment are considered
+    /// (an object whose key *is* zero must not be shadowed by a gap).
     pub fn assignment(&self, object: ObjectId) -> Option<CoreId> {
-        self.assignments.get(&object).copied()
+        self.by_object
+            .iter()
+            .zip(&self.keys)
+            .find(|&(&core, &k)| core != UNASSIGNED && k == object)
+            .map(|(&core, _)| core)
     }
 
     /// Number of registered objects.
     pub fn len(&self) -> usize {
-        self.assignments.len()
+        self.registered
     }
 
     /// Whether no objects are registered.
     pub fn is_empty(&self) -> bool {
-        self.assignments.is_empty()
+        self.registered == 0
     }
 }
 
@@ -49,15 +70,23 @@ impl SchedPolicy for StaticPartition {
         "static-partition"
     }
 
-    fn register_object(&mut self, object: &ObjectDescriptor) {
-        let core = self.next % self.cores;
+    fn register_object(&mut self, id: DenseObjectId, object: &ObjectDescriptor) {
+        let idx = id as usize;
+        if idx >= self.by_object.len() {
+            self.by_object.resize(idx + 1, UNASSIGNED);
+            self.keys.resize(idx + 1, 0);
+        }
+        if self.by_object[idx] == UNASSIGNED {
+            self.registered += 1;
+        }
+        self.by_object[idx] = self.next % self.cores;
+        self.keys[idx] = object.id;
         self.next += 1;
-        self.assignments.insert(object.id, core);
     }
 
     fn on_ct_start(&mut self, ctx: &OpContext<'_>) -> Placement {
-        match self.assignments.get(&ctx.object) {
-            Some(&core) if core != ctx.core => Placement::On(core),
+        match self.by_object.get(ctx.object as usize).copied() {
+            Some(core) if core != UNASSIGNED && core != ctx.core => Placement::On(core),
             _ => Placement::Local,
         }
     }
@@ -72,8 +101,11 @@ mod tests {
     #[test]
     fn registration_round_robins_across_cores() {
         let mut p = StaticPartition::new(4);
-        for id in 0..8u64 {
-            p.register_object(&ObjectDescriptor::new(id, id * 0x1000, 64));
+        for id in 0..8u32 {
+            p.register_object(
+                id,
+                &ObjectDescriptor::new(u64::from(id), u64::from(id) * 0x1000, 64),
+            );
         }
         assert_eq!(p.len(), 8);
         assert_eq!(p.assignment(0), Some(0));
@@ -84,12 +116,25 @@ mod tests {
     }
 
     #[test]
+    fn key_zero_is_not_shadowed_by_gap_slots() {
+        // Dense id 0 is a gap (interned by the engine but never
+        // registered); the object with external key 0 registers later
+        // under dense id 1 and must still be reported.
+        let mut p = StaticPartition::new(4);
+        p.register_object(1, &ObjectDescriptor::new(0, 0x4000, 64));
+        assert_eq!(p.assignment(0), Some(0));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
     fn operations_migrate_to_the_assigned_core() {
         let machine = Machine::new(MachineConfig::quad4());
-        let mut p = StaticPartition::new(4);
-        p.register_object(&ObjectDescriptor::new(0xA, 0xA, 64)); // -> core 0
-        p.register_object(&ObjectDescriptor::new(0xB, 0xB, 64)); // -> core 1
+        let p = StaticPartition::new(4);
         let mut engine = Engine::new(machine, Box::new(p), RuntimeConfig::default());
+        // Registration goes through the engine so the policy sees the same
+        // dense ids later operations carry.
+        engine.register_object(ObjectDescriptor::new(0xA, 0xA, 64)); // -> core 0
+        engine.register_object(ObjectDescriptor::new(0xB, 0xB, 64)); // -> core 1
         let op = OpBuilder::annotated(0xB).compute(100).finish();
         engine.spawn(3, Box::new(RepeatBehaviour::new(op, Some(5))));
         engine.run_until_cycles(10_000_000);

@@ -53,7 +53,7 @@ fn bench_machine_access() {
 }
 
 fn bench_cache_packing() {
-    for n in [64u64, 512, 4096] {
+    for n in [64u32, 512, 4096] {
         let items: Vec<PackItem> = (0..n)
             .map(|i| PackItem {
                 object: i,
@@ -62,7 +62,7 @@ fn bench_cache_packing() {
             })
             .collect();
         let capacities = vec![944 * 1024u64; 16];
-        let iters = (200_000 / n).max(10);
+        let iters = u64::from(200_000 / n).max(10);
         bench(&format!("cache_packing/{n}"), iters, || {
             pack(&items, &capacities)
         });

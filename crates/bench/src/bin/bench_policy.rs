@@ -1,0 +1,331 @@
+//! Scheduler-decision-path throughput benchmark → `BENCH_policy.json`.
+//!
+//! Drives `O2Policy` directly through the `SchedPolicy` interface (no
+//! engine, no memory simulation) so the numbers isolate exactly the path
+//! the paper calls "a table lookup": `on_ct_start` placement decisions,
+//! `on_ct_end` monitoring + packing, and the per-epoch planners. Three
+//! seeded scenarios:
+//!
+//! * `migration_heavy` — a working set that fits the packing budget,
+//!   hammered from every core: steady-state `ct_start` lookups and
+//!   migrate/local decisions dominate (the ISSUE's ≥1.5× target is
+//!   measured on this one);
+//! * `epoch_churn` — tens of thousands of registered objects with a
+//!   shifting hot window and frequent epochs: stresses the registry's
+//!   epoch accounting (roll, decay, replacement) where the pre-refactor
+//!   implementation re-scanned every object per epoch;
+//! * `clustering` — every Section-6.2 extension on, with paired
+//!   co-accesses: stresses the co-access tracker's record/partners/decay.
+//!
+//! The `baseline_*` fields are the same scenarios measured on the
+//! pre-refactor implementation (`HashMap` assignment table and registry,
+//! `HashMap<(ObjectId, ObjectId), u64>` co-access pairs) on the same host,
+//! captured immediately before the dense-id/flat-slab refactor landed.
+
+use std::time::Instant;
+
+use o2_core::{CoreTimeConfig, O2Policy, O2Stats};
+use o2_runtime::{
+    DenseObjectId, EpochView, ObjectDescriptor, ObjectIndex, OpContext, Placement, SchedPolicy,
+};
+use o2_sim::{CounterDelta, Machine, MachineConfig};
+
+/// Pre-refactor decisions/sec on the same host, one value per scenario.
+/// Captured from the `HashMap`-based decision path right before the flat
+/// refactor replaced it (see DESIGN.md, "The scheduler decision path").
+const BASELINE_OPS_PER_SEC: [(&str, f64); 3] = [
+    ("migration_heavy", 7_900_000.0),
+    ("epoch_churn", 590_000.0),
+    ("clustering", 7_800_000.0),
+];
+
+/// Deterministic 64-bit LCG (constants from Knuth); top bits returned.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Minimal mirror of the engine's ct_start/ct_end/epoch protocol,
+/// including its object index (keys are interned in first-touch order).
+struct Driver {
+    machine: Machine,
+    policy: O2Policy,
+    index: ObjectIndex,
+    ops_by_core: Vec<u64>,
+    misses_by_core: Vec<u64>,
+    epoch: u64,
+}
+
+impl Driver {
+    fn new(machine_cfg: MachineConfig, cfg: CoreTimeConfig) -> Self {
+        let machine = Machine::new(machine_cfg);
+        let policy = O2Policy::new(machine.config(), cfg);
+        let cores = machine.config().total_cores() as usize;
+        Driver {
+            machine,
+            policy,
+            index: ObjectIndex::default(),
+            ops_by_core: vec![0; cores],
+            misses_by_core: vec![0; cores],
+            epoch: 0,
+        }
+    }
+
+    fn register(&mut self, key: u64, size: u64, read_mostly: bool) {
+        let desc = ObjectDescriptor::new(key, key, size).read_mostly(read_mostly);
+        let dense = self.index.register(desc);
+        self.policy.register_object(dense, &desc);
+    }
+
+    #[inline]
+    fn op(&mut self, thread: usize, core: u32, key: u64, misses: u64) {
+        let object: DenseObjectId = self.index.intern(key);
+        let ctx = OpContext {
+            thread,
+            core,
+            home_core: core,
+            object,
+            object_key: key,
+            now: 0,
+            machine: &self.machine,
+        };
+        let exec_core = match self.policy.on_ct_start(&ctx) {
+            Placement::Local => core,
+            Placement::On(c) => c,
+        };
+        let delta = CounterDelta {
+            l2_misses: misses,
+            busy_cycles: 2_000 + misses * 60,
+            dram_loads: misses / 3,
+            operations_completed: 1,
+            ..Default::default()
+        };
+        let end_ctx = OpContext {
+            thread,
+            core: exec_core,
+            home_core: core,
+            object,
+            object_key: key,
+            now: 0,
+            machine: &self.machine,
+        };
+        self.policy.on_ct_end(&end_ctx, &delta);
+        self.ops_by_core[exec_core as usize] += 1;
+        self.misses_by_core[exec_core as usize] += misses;
+    }
+
+    fn run_epoch(&mut self) {
+        self.epoch += 1;
+        let busy: Vec<u64> = self
+            .ops_by_core
+            .iter()
+            .zip(&self.misses_by_core)
+            .map(|(&o, &m)| o * 2_000 + m * 60)
+            .collect();
+        let frontier = busy.iter().copied().max().unwrap_or(0);
+        let deltas: Vec<CounterDelta> = (0..busy.len())
+            .map(|c| CounterDelta {
+                busy_cycles: busy[c],
+                idle_cycles: frontier - busy[c] + 1_000,
+                l2_misses: self.misses_by_core[c],
+                dram_loads: self.misses_by_core[c] / 3,
+                operations_completed: self.ops_by_core[c],
+                ..Default::default()
+            })
+            .collect();
+        let view = EpochView {
+            now: self.epoch * 1_000_000,
+            machine: &self.machine,
+            deltas: &deltas,
+        };
+        self.policy.on_epoch(&view);
+        self.ops_by_core.iter_mut().for_each(|o| *o = 0);
+        self.misses_by_core.iter_mut().for_each(|m| *m = 0);
+    }
+}
+
+struct Outcome {
+    name: &'static str,
+    decisions: u64,
+    wall_seconds: f64,
+    stats: O2Stats,
+}
+
+impl Outcome {
+    fn ops_per_sec(&self) -> f64 {
+        self.decisions as f64 / self.wall_seconds
+    }
+
+    fn baseline(&self) -> f64 {
+        BASELINE_OPS_PER_SEC
+            .iter()
+            .find(|(n, _)| *n == self.name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    }
+
+    fn json(&self) -> String {
+        let base = self.baseline();
+        let speedup = if base > 0.0 {
+            self.ops_per_sec() / base
+        } else {
+            0.0
+        };
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"scenario\": \"{}\",\n",
+                "      \"operations\": {},\n",
+                "      \"epochs\": {},\n",
+                "      \"wall_seconds\": {:.6},\n",
+                "      \"decisions_per_wall_second\": {:.0},\n",
+                "      \"baseline_decisions_per_wall_second\": {:.0},\n",
+                "      \"speedup_vs_baseline\": {:.2}\n",
+                "    }}"
+            ),
+            self.name,
+            self.decisions,
+            self.stats.epochs,
+            self.wall_seconds,
+            self.ops_per_sec(),
+            base,
+            speedup,
+        )
+    }
+}
+
+fn finish(name: &'static str, d: &Driver, decisions: u64, start: Instant) -> Outcome {
+    let wall_seconds = start.elapsed().as_secs_f64().max(1e-9);
+    let o = Outcome {
+        name,
+        decisions,
+        wall_seconds,
+        stats: d.policy.stats(),
+    };
+    println!(
+        "{name:<16} {decisions:>9} decisions in {wall_seconds:.3}s ({:.0} decisions/s)",
+        o.ops_per_sec()
+    );
+    println!("{:<16} {:?}", "", o.stats);
+    o
+}
+
+/// Steady-state lookups: 64 objects on amd16, all expensive, everything
+/// assigned after warm-up; from then on every `ct_start` is the paper's
+/// "table lookup" plus a migrate/local decision.
+fn migration_heavy(iters: u64) -> Outcome {
+    let mut d = Driver::new(MachineConfig::amd16(), CoreTimeConfig::default());
+    let keys: Vec<u64> = (0..64u64).map(|i| 0x10_0000 + i * 0x1_0000).collect();
+    for (i, &k) in keys.iter().enumerate() {
+        d.register(k, 32 * 1024 + (i as u64 % 5) * 8 * 1024, false);
+    }
+    let mut rng = Lcg(0xbe9c_0001);
+    let start = Instant::now();
+    for i in 0..iters {
+        let r = rng.next();
+        let obj = if r % 10 < 7 {
+            keys[(r >> 8) as usize % 8]
+        } else {
+            keys[(r >> 8) as usize % keys.len()]
+        };
+        let core = ((r >> 16) % 16) as u32;
+        let thread = ((r >> 24) % 32) as usize;
+        d.op(thread, core, obj, 150 + (obj >> 16) % 180);
+        if (i + 1) % 8_192 == 0 {
+            d.run_epoch();
+        }
+    }
+    finish("migration_heavy", &d, iters, start)
+}
+
+/// Epoch pressure: 24 576 registered objects on quad4 with a shifting hot
+/// window, decay and replacement enabled, an epoch every 2 048 operations.
+fn epoch_churn(iters: u64) -> Outcome {
+    let mut cfg = CoreTimeConfig::default();
+    cfg.enable_decay = true;
+    cfg.enable_replacement = true;
+    cfg.decay_epochs = 2;
+    let mut d = Driver::new(MachineConfig::quad4(), cfg);
+    let n = 24_576u64;
+    let keys: Vec<u64> = (0..n).map(|i| 0x100_0000 + i * 0x1_0000).collect();
+    for (i, &k) in keys.iter().enumerate() {
+        d.register(k, 48 * 1024 + (i as u64 % 7) * 16 * 1024, false);
+    }
+    let mut rng = Lcg(0xbe9c_0002);
+    let start = Instant::now();
+    for i in 0..iters {
+        let r = rng.next();
+        let base = ((i / 2_048) * 16) as usize % keys.len();
+        let obj = keys[(base + (r as usize % 48)) % keys.len()];
+        let core = ((r >> 16) % 4) as u32;
+        let thread = ((r >> 24) % 8) as usize;
+        d.op(thread, core, obj, 600 + (obj >> 17) % 300);
+        if (i + 1) % 2_048 == 0 {
+            d.run_epoch();
+        }
+    }
+    finish("epoch_churn", &d, iters, start)
+}
+
+/// Co-access tracking: all Section-6.2 extensions, threads touching object
+/// pairs back-to-back so the pair table and partner lookups stay busy.
+fn clustering(iters: u64) -> Outcome {
+    let mut d = Driver::new(
+        MachineConfig::amd16(),
+        CoreTimeConfig::with_all_extensions(),
+    );
+    let keys: Vec<u64> = (0..256u64).map(|i| 0x40_0000 + i * 0x1_0000).collect();
+    for (i, &k) in keys.iter().enumerate() {
+        d.register(k, 16 * 1024 + (i as u64 % 3) * 8 * 1024, i % 4 == 0);
+    }
+    let mut rng = Lcg(0xbe9c_0003);
+    let start = Instant::now();
+    let mut n = 0u64;
+    for i in 0..iters / 2 {
+        let r = rng.next();
+        let pair = ((r >> 4) as usize % (keys.len() / 2)) * 2;
+        let core = ((r >> 16) % 16) as u32;
+        let thread = ((r >> 24) % 16) as usize;
+        let misses = 200 + (pair as u64 * 11) % 150;
+        d.op(thread, core, keys[pair], misses);
+        d.op(thread, core, keys[pair + 1], misses / 2);
+        n += 2;
+        if (i + 1) % 4_096 == 0 {
+            d.run_epoch();
+        }
+    }
+    finish("clustering", &d, n, start)
+}
+
+fn main() {
+    let outcomes = [
+        migration_heavy(4_000_000),
+        epoch_churn(1_000_000),
+        clustering(2_000_000),
+    ];
+    let body = outcomes
+        .iter()
+        .map(Outcome::json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"policy_decision_path\",\n",
+            "  \"machine\": \"amd16 / quad4\",\n",
+            "  \"model\": \"dense object ids + flat assignment table + incremental epoch state\",\n",
+            "  \"scenarios\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        body
+    );
+    std::fs::write("BENCH_policy.json", &json).expect("write BENCH_policy.json");
+    println!("wrote BENCH_policy.json");
+}

@@ -9,78 +9,268 @@
 //! different objects). Pairs whose count crosses a threshold are considered
 //! clustered, and the placement logic prefers putting a new object on the
 //! core that already holds one of its cluster partners.
+//!
+//! `record` runs on every `ct_start`, so the tracker follows the flat
+//! recipe of the simulator's coherence directory: the per-thread
+//! last-object memory is a plain slab, and the pair counts live in an
+//! open-addressed table keyed by the two dense ids packed into one `u64`
+//! (power-of-two capacity, Fibonacci hashing, linear probing,
+//! backward-shift deletion) — no `HashMap`, no per-entry heap nodes.
 
-use std::collections::HashMap;
+use o2_runtime::{DenseObjectId, ObjectId, ThreadId};
 
-use o2_runtime::{ObjectId, ThreadId};
+/// Sentinel for an empty pair slot: dense ids are `u32`, so a packed key
+/// of `u64::MAX` (both halves `u32::MAX`) never collides with a real pair.
+const EMPTY: u64 = u64::MAX;
+
+/// Sentinel for "thread has no previous object".
+const NO_OBJECT: DenseObjectId = DenseObjectId::MAX;
+
+#[inline]
+fn pack(a: DenseObjectId, b: DenseObjectId) -> u64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PairSlot {
+    key: u64,
+    count: u64,
+}
+
+const VACANT: PairSlot = PairSlot {
+    key: EMPTY,
+    count: 0,
+};
+
+/// Open-addressed `(object, object) → count` table.
+#[derive(Debug, Clone)]
+struct PairTable {
+    slots: Box<[PairSlot]>,
+    mask: usize,
+    len: usize,
+}
+
+impl PairTable {
+    fn with_capacity(cap: usize) -> Self {
+        let cap = cap.next_power_of_two().max(8);
+        Self {
+            slots: vec![VACANT; cap].into_boxed_slice(),
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h >> 32) as usize & self.mask
+    }
+
+    #[inline]
+    fn increment(&mut self, key: u64) {
+        if (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mut i = self.home(key);
+        loop {
+            let slot = self.slots[i];
+            if slot.key == key {
+                self.slots[i].count += 1;
+                return;
+            }
+            if slot.key == EMPTY {
+                self.slots[i] = PairSlot { key, count: 1 };
+                self.len += 1;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    fn get(&self, key: u64) -> u64 {
+        let mut i = self.home(key);
+        loop {
+            let slot = self.slots[i];
+            if slot.key == key {
+                return slot.count;
+            }
+            if slot.key == EMPTY {
+                return 0;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Backward-shift removal, as in the flat coherence directory.
+    fn remove(&mut self, key: u64) {
+        let mut hole = {
+            let mut i = self.home(key);
+            loop {
+                let slot = self.slots[i];
+                if slot.key == key {
+                    break i;
+                }
+                if slot.key == EMPTY {
+                    return;
+                }
+                i = (i + 1) & self.mask;
+            }
+        };
+        self.len -= 1;
+        let mut i = hole;
+        loop {
+            i = (i + 1) & self.mask;
+            let k = self.slots[i].key;
+            if k == EMPTY {
+                break;
+            }
+            let h = self.home(k);
+            let on_path = if h <= i {
+                h <= hole && hole < i
+            } else {
+                hole >= h || hole < i
+            };
+            if on_path {
+                self.slots[hole] = self.slots[i];
+                hole = i;
+            }
+        }
+        self.slots[hole] = VACANT;
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.slots
+            .iter()
+            .filter(|s| s.key != EMPTY)
+            .map(|s| (s.key, s.count))
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![VACANT; new_cap].into_boxed_slice());
+        self.mask = new_cap - 1;
+        for slot in old.iter().filter(|s| s.key != EMPTY) {
+            let mut i = self.home(slot.key);
+            loop {
+                if self.slots[i].key == EMPTY {
+                    self.slots[i] = *slot;
+                    break;
+                }
+                i = (i + 1) & self.mask;
+            }
+        }
+    }
+}
 
 /// Tracks which objects are used together.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CoAccessTracker {
-    /// Last object each thread operated on.
-    last_by_thread: HashMap<ThreadId, ObjectId>,
+    /// Last object each thread operated on, indexed by thread id.
+    last_by_thread: Vec<DenseObjectId>,
     /// Co-access counts per unordered object pair.
-    pair_counts: HashMap<(ObjectId, ObjectId), u64>,
+    pairs: PairTable,
+    /// Scratch for decay's two-pass halve-then-remove.
+    doomed: Vec<u64>,
+}
+
+impl Default for CoAccessTracker {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl CoAccessTracker {
     /// Creates an empty tracker.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            last_by_thread: Vec::new(),
+            pairs: PairTable::with_capacity(64),
+            doomed: Vec::new(),
+        }
     }
 
     /// Records that `thread` started an operation on `object`.
-    pub fn record(&mut self, thread: ThreadId, object: ObjectId) {
-        if let Some(&prev) = self.last_by_thread.get(&thread) {
-            if prev != object {
-                let key = if prev < object {
-                    (prev, object)
-                } else {
-                    (object, prev)
-                };
-                *self.pair_counts.entry(key).or_insert(0) += 1;
-            }
+    #[inline]
+    pub fn record(&mut self, thread: ThreadId, object: DenseObjectId) {
+        if thread >= self.last_by_thread.len() {
+            self.last_by_thread.resize(thread + 1, NO_OBJECT);
         }
-        self.last_by_thread.insert(thread, object);
+        let prev = self.last_by_thread[thread];
+        if prev != NO_OBJECT && prev != object {
+            self.pairs.increment(pack(prev, object));
+        }
+        self.last_by_thread[thread] = object;
     }
 
     /// Co-access count of a pair.
-    pub fn pair_count(&self, a: ObjectId, b: ObjectId) -> u64 {
-        let key = if a < b { (a, b) } else { (b, a) };
-        self.pair_counts.get(&key).copied().unwrap_or(0)
+    pub fn pair_count(&self, a: DenseObjectId, b: DenseObjectId) -> u64 {
+        self.pairs.get(pack(a, b))
     }
 
     /// Objects co-accessed with `object` at least `threshold` times,
-    /// strongest partnership first.
-    pub fn partners(&self, object: ObjectId, threshold: u64) -> Vec<ObjectId> {
-        let mut partners: Vec<(ObjectId, u64)> = self
-            .pair_counts
+    /// strongest partnership first, ties broken by the partner's external
+    /// key (via `key_of`) so the placement preference is a pure function
+    /// of the operation history.
+    pub fn partners(
+        &self,
+        object: DenseObjectId,
+        threshold: u64,
+        key_of: impl Fn(DenseObjectId) -> ObjectId,
+    ) -> Vec<DenseObjectId> {
+        let mut partners: Vec<(u64, ObjectId, DenseObjectId)> = self
+            .pairs
             .iter()
-            .filter(|((a, b), &count)| count >= threshold && (*a == object || *b == object))
-            .map(|((a, b), &count)| (if *a == object { *b } else { *a }, count))
+            .filter(|&(_, count)| count >= threshold)
+            .filter_map(|(key, count)| {
+                let lo = (key >> 32) as DenseObjectId;
+                let hi = key as DenseObjectId;
+                if lo == object {
+                    Some((count, hi))
+                } else if hi == object {
+                    Some((count, lo))
+                } else {
+                    None
+                }
+            })
+            .map(|(count, partner)| (count, key_of(partner), partner))
             .collect();
-        partners.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
-        partners.into_iter().map(|(o, _)| o).collect()
+        partners.sort_by_key(|&(count, key, _)| (std::cmp::Reverse(count), key));
+        partners.into_iter().map(|(_, _, p)| p).collect()
     }
 
     /// Number of distinct pairs observed.
     pub fn pairs_observed(&self) -> usize {
-        self.pair_counts.len()
+        self.pairs.len
     }
 
     /// Ages the counts (halving them), so stale partnerships fade. Called
     /// once per epoch.
     pub fn decay(&mut self) {
-        self.pair_counts.retain(|_, c| {
-            *c /= 2;
-            *c > 0
-        });
+        self.doomed.clear();
+        for i in 0..self.pairs.slots.len() {
+            let slot = &mut self.pairs.slots[i];
+            if slot.key != EMPTY {
+                slot.count /= 2;
+                if slot.count == 0 {
+                    self.doomed.push(slot.key);
+                }
+            }
+        }
+        for i in 0..self.doomed.len() {
+            self.pairs.remove(self.doomed[i]);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn ids(v: Vec<DenseObjectId>) -> Vec<DenseObjectId> {
+        v
+    }
 
     #[test]
     fn consecutive_ops_by_one_thread_form_pairs() {
@@ -122,10 +312,33 @@ mod tests {
             t.record(1, 1);
             t.record(1, 3);
         }
-        assert_eq!(t.partners(1, 2), vec![2, 3]);
-        assert_eq!(t.partners(1, 6), vec![2]);
-        assert_eq!(t.partners(1, 100), Vec::<ObjectId>::new());
-        assert_eq!(t.partners(2, 2), vec![1]);
+        let key_of = |d: DenseObjectId| u64::from(d);
+        assert_eq!(t.partners(1, 2, key_of), ids(vec![2, 3]));
+        assert_eq!(t.partners(1, 6, key_of), ids(vec![2]));
+        assert_eq!(t.partners(1, 100, key_of), ids(vec![]));
+        assert_eq!(t.partners(2, 2, key_of), ids(vec![1]));
+    }
+
+    #[test]
+    fn partner_ties_break_by_external_key() {
+        let mut t = CoAccessTracker::new();
+        // Partners 2 and 3 are each co-accessed with object 1 twice, on
+        // separate threads so the counts stay symmetric.
+        for _ in 0..2 {
+            t.record(0, 1);
+            t.record(0, 2);
+            t.record(1, 1);
+            t.record(1, 3);
+        }
+        assert_eq!(t.pair_count(1, 2), t.pair_count(1, 3));
+        // External keys invert the dense order: partner 3 has key 5,
+        // partner 2 has key 9, so 3 wins the tie.
+        let key_of = |d: DenseObjectId| match d {
+            2 => 9u64,
+            3 => 5u64,
+            other => u64::from(other),
+        };
+        assert_eq!(t.partners(1, 1, key_of), ids(vec![3, 2]));
     }
 
     #[test]
@@ -141,5 +354,28 @@ mod tests {
         assert_eq!(t.pair_count(1, 2), 0);
         assert_eq!(t.pair_count(3, 4), 3);
         assert_eq!(t.pairs_observed(), 1);
+    }
+
+    #[test]
+    fn many_pairs_survive_growth_and_decay() {
+        let mut t = CoAccessTracker::new();
+        // 512 distinct pairs, counts 2 each, interleaved across threads.
+        for i in 0..512u32 {
+            let (a, b) = (i * 2, i * 2 + 1);
+            t.record(i as usize % 7, a);
+            t.record(i as usize % 7, b);
+            t.record(i as usize % 7, a);
+        }
+        // Each cycle above produces (a,b) twice, plus cross-pairs from
+        // thread reuse; check a few exact counts instead of the total.
+        assert_eq!(t.pair_count(0, 1), 2);
+        assert_eq!(t.pair_count(1022, 1023), 2);
+        let before = t.pairs_observed();
+        t.decay();
+        // Counts of 2 halve to 1 and survive; cross-pairs of 1 vanish.
+        assert_eq!(t.pair_count(0, 1), 1);
+        assert!(t.pairs_observed() <= before);
+        t.decay();
+        assert_eq!(t.pairs_observed(), 0);
     }
 }

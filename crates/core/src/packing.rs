@@ -14,7 +14,7 @@
 //! * [`place_one`] — the incremental form used online by the policy when
 //!   monitoring promotes a single object.
 
-use o2_runtime::{CoreId, ObjectId};
+use o2_runtime::{CoreId, DenseObjectId};
 
 use crate::table::AssignmentTable;
 
@@ -22,7 +22,7 @@ use crate::table::AssignmentTable;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PackItem {
     /// The object.
-    pub object: ObjectId,
+    pub object: DenseObjectId,
     /// Its size in bytes.
     pub size: u64,
     /// Its expense (expected fetch cost per operation); more expensive
@@ -34,15 +34,15 @@ pub struct PackItem {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Packing {
     /// Object → core assignments produced.
-    pub placed: Vec<(ObjectId, CoreId)>,
+    pub placed: Vec<(DenseObjectId, CoreId)>,
     /// Objects that did not fit in any core's remaining budget; these stay
     /// under hardware management.
-    pub unplaced: Vec<ObjectId>,
+    pub unplaced: Vec<DenseObjectId>,
 }
 
 impl Packing {
     /// The core an object was packed onto, if any.
-    pub fn core_of(&self, object: ObjectId) -> Option<CoreId> {
+    pub fn core_of(&self, object: DenseObjectId) -> Option<CoreId> {
         self.placed
             .iter()
             .find(|(o, _)| *o == object)
@@ -83,7 +83,7 @@ pub fn pack(items: &[PackItem], capacities: &[u64]) -> Packing {
 /// to the first core whose remaining budget fits it; falls back to the
 /// core with the most free space if `best_effort` is set and no core has
 /// room (without overflowing — it simply fails otherwise).
-pub fn place_one(table: &mut AssignmentTable, object: ObjectId, size: u64) -> Option<CoreId> {
+pub fn place_one(table: &mut AssignmentTable, object: DenseObjectId, size: u64) -> Option<CoreId> {
     for core in 0..table.num_cores() as CoreId {
         if table.free_bytes(core) >= size {
             let ok = table.assign(object, size, core);
@@ -96,7 +96,11 @@ pub fn place_one(table: &mut AssignmentTable, object: ObjectId, size: u64) -> Op
 
 /// Places an object on the core that currently has the most free budget,
 /// if it fits there.
-pub fn place_most_free(table: &mut AssignmentTable, object: ObjectId, size: u64) -> Option<CoreId> {
+pub fn place_most_free(
+    table: &mut AssignmentTable,
+    object: DenseObjectId,
+    size: u64,
+) -> Option<CoreId> {
     let core = table.most_free_core();
     if table.free_bytes(core) >= size {
         table.assign(object, size, core);
@@ -113,19 +117,37 @@ pub fn place_most_free(table: &mut AssignmentTable, object: ObjectId, size: u64)
 /// algorithm, [`place_one`]) concentrates the first objects on the first
 /// cores and relies entirely on the runtime rebalancer to spread them —
 /// which shows up as a migration hot-spot exactly as Section 4 predicts.
-/// Visiting the least-loaded core first keeps the same O(n·log n) greedy
-/// structure while also satisfying the Section 3 requirement that the
-/// scheduler "balance both objects and operations across caches and
-/// cores"; it is the default used by [`crate::O2Policy`].
-pub fn place_balanced(table: &mut AssignmentTable, object: ObjectId, size: u64) -> Option<CoreId> {
-    let mut order: Vec<CoreId> = (0..table.num_cores() as CoreId).collect();
-    order.sort_by_key(|&c| (table.used_bytes(c), c));
-    for core in order {
+/// Visiting the least-loaded core first keeps the same greedy structure
+/// while also satisfying the Section 3 requirement that the scheduler
+/// "balance both objects and operations across caches and cores"; it is
+/// the default used by [`crate::O2Policy`].
+///
+/// Cores are visited in ascending `(used_bytes, core)` order by repeated
+/// selection rather than by materialising a sorted `Vec` — this runs on
+/// the placement path, which is allocation-free end to end.
+pub fn place_balanced(
+    table: &mut AssignmentTable,
+    object: DenseObjectId,
+    size: u64,
+) -> Option<CoreId> {
+    let n = table.num_cores() as CoreId;
+    let mut prev: Option<(u64, CoreId)> = None;
+    for _ in 0..n {
+        let mut best: Option<(u64, CoreId)> = None;
+        for c in 0..n {
+            let key = (table.used_bytes(c), c);
+            let after_prev = prev.map_or(true, |p| key > p);
+            if after_prev && best.map_or(true, |b| key < b) {
+                best = Some(key);
+            }
+        }
+        let (_, core) = best?;
         if table.free_bytes(core) >= size {
             let ok = table.assign(object, size, core);
             debug_assert!(ok);
             return Some(core);
         }
+        prev = best;
     }
     None
 }
@@ -139,7 +161,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &(size, expense))| PackItem {
-                object: i as u64 + 1,
+                object: i as DenseObjectId + 1,
                 size,
                 expense,
             })
@@ -212,7 +234,7 @@ mod tests {
     #[test]
     fn place_balanced_spreads_equal_objects_across_cores() {
         let mut t = AssignmentTable::new(vec![100, 100, 100, 100]);
-        for obj in 1..=4u64 {
+        for obj in 1..=4u32 {
             place_balanced(&mut t, obj, 60).expect("fits");
         }
         // One object per core rather than two on core 0 and two on core 1.
@@ -236,10 +258,10 @@ mod tests {
     #[test]
     fn packing_respects_total_capacity() {
         // Property-style check: nothing placed can exceed per-core budgets.
-        let its: Vec<PackItem> = (0..50)
+        let its: Vec<PackItem> = (0..50u32)
             .map(|i| PackItem {
                 object: i,
-                size: 10 + (i % 7) * 5,
+                size: 10 + u64::from(i % 7) * 5,
                 expense: (i % 13) as f64,
             })
             .collect();

@@ -11,7 +11,7 @@
 //! migration hot-spot), its less-popular objects are spread to the cores
 //! that completed the fewest operations.
 
-use o2_runtime::{CoreId, ObjectId};
+use o2_runtime::{CoreId, DenseObjectId};
 use o2_sim::CounterDelta;
 
 use crate::config::CoreTimeConfig;
@@ -56,10 +56,13 @@ pub fn plan(
         .filter(|c| !hot.contains(c))
         .collect();
     receivers.sort_by_key(|&c| {
-        deltas
-            .get(c as usize)
-            .map(|d| d.operations_completed)
-            .unwrap_or(0)
+        (
+            deltas
+                .get(c as usize)
+                .map(|d| d.operations_completed)
+                .unwrap_or(0),
+            c,
+        )
     });
     if receivers.is_empty() {
         return Vec::new();
@@ -71,7 +74,7 @@ pub fn plan(
     let mut moves = Vec::new();
 
     for &from in &hot {
-        let mut objs: Vec<ObjectId> = table.objects_on(from).to_vec();
+        let mut objs: Vec<DenseObjectId> = table.objects_on(from).to_vec();
         if objs.len() <= 1 {
             // A single popular object cannot be split by moving; replication
             // (Section 6.2) handles that case when enabled.
@@ -80,8 +83,11 @@ pub fn plan(
         // Keep the hottest object where it is, spread the rest (bounded per
         // epoch so one noisy sample cannot trigger a mass migration of
         // cached data).
-        objs.sort_by_key(|o| {
-            std::cmp::Reverse(registry.get(*o).map(|i| i.ops_last_epoch).unwrap_or(0))
+        objs.sort_by_key(|&o| {
+            (
+                std::cmp::Reverse(registry.get(o).map(|i| i.ops_last_epoch).unwrap_or(0)),
+                registry.key_of(o),
+            )
         });
         let mut receiver_idx = 0usize;
         for &obj in objs.iter().skip(1).take(cfg.pathology_max_moves) {
@@ -144,13 +150,16 @@ mod tests {
         assert!(hot_cores(&cfg, &deltas).is_empty());
     }
 
-    fn registry_with_ops(objs: &[(u64, u64, u64)]) -> ObjectRegistry {
+    fn registry_with_ops(objs: &[(u32, u64, u64)]) -> ObjectRegistry {
         // (id, size, ops_last_epoch approximated by recording ops then rolling)
         let mut reg = ObjectRegistry::new(64);
         for &(id, size, ops) in objs {
-            reg.register(ObjectDescriptor::new(id, id * 0x10000, size));
+            reg.register(
+                id,
+                ObjectDescriptor::new(u64::from(id), u64::from(id) * 0x10000, size),
+            );
             for _ in 0..ops {
-                reg.record_op(id, 1, 0.3);
+                reg.record_op(id, u64::from(id), 1, 0.3);
             }
         }
         reg.roll_epoch();
@@ -168,7 +177,7 @@ mod tests {
         let deltas = vec![ops_delta(900), ops_delta(10), ops_delta(10), ops_delta(10)];
         let moves = plan(&cfg, &table, &registry, &deltas);
         // Objects 2 and 3 move away; object 1 (hottest) stays.
-        let moved: Vec<ObjectId> = moves.iter().map(|m| m.object).collect();
+        let moved: Vec<DenseObjectId> = moves.iter().map(|m| m.object).collect();
         assert!(moved.contains(&2) && moved.contains(&3));
         assert!(!moved.contains(&1));
         for m in &moves {

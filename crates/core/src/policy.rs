@@ -14,7 +14,9 @@
 //!   read-mostly objects and admits objects by frequency when the on-chip
 //!   budget is oversubscribed.
 
-use o2_runtime::{EpochView, ObjectDescriptor, OpContext, Placement, PolicyCommand, SchedPolicy};
+use o2_runtime::{
+    DenseObjectId, EpochView, ObjectDescriptor, OpContext, Placement, PolicyCommand, SchedPolicy,
+};
 use o2_sim::{CounterDelta, MachineConfig};
 
 use crate::clustering::CoAccessTracker;
@@ -62,6 +64,9 @@ pub struct O2Policy {
     /// decay (releasing idle assignments only helps when something is
     /// actually waiting for the space).
     placement_failures_this_epoch: u64,
+    /// Scratch for the epoch decay pass, reused across epochs so the
+    /// decision path stays allocation-free in steady state.
+    idle_scratch: Vec<DenseObjectId>,
 }
 
 impl O2Policy {
@@ -79,6 +84,7 @@ impl O2Policy {
             clustering: CoAccessTracker::new(),
             stats: O2Stats::default(),
             placement_failures_this_epoch: 0,
+            idle_scratch: Vec::new(),
         }
     }
 
@@ -110,7 +116,7 @@ impl O2Policy {
     /// Attempts to place a newly expensive object, in priority order:
     /// next to a cluster partner, then greedy first fit, then (if enabled)
     /// frequency-based replacement.
-    fn place_object(&mut self, object: u64) {
+    fn place_object(&mut self, object: DenseObjectId) {
         let Some(info) = self.registry.get(object) else {
             return;
         };
@@ -119,9 +125,12 @@ impl O2Policy {
 
         // 1. Object clustering: prefer the core already holding a partner.
         if self.cfg.enable_clustering {
-            let partners = self
-                .clustering
-                .partners(object, self.cfg.clustering_threshold);
+            let registry = &self.registry;
+            let partners =
+                self.clustering
+                    .partners(object, self.cfg.clustering_threshold, |partner| {
+                        registry.key_of(partner)
+                    });
             for partner in partners {
                 if let Some(core) = self.table.primary(partner) {
                     if self.table.free_bytes(core) >= size && self.table.assign(object, size, core)
@@ -164,18 +173,22 @@ impl SchedPolicy for O2Policy {
         "coretime"
     }
 
-    fn register_object(&mut self, object: &ObjectDescriptor) {
-        self.registry.register(*object);
+    fn register_object(&mut self, id: DenseObjectId, object: &ObjectDescriptor) {
+        self.registry.register(id, *object);
     }
 
     fn on_ct_start(&mut self, ctx: &OpContext<'_>) -> Placement {
-        self.clustering.record(ctx.thread, ctx.object);
+        // Co-access tracking only feeds the clustering heuristic; skip the
+        // pair-table work entirely when that extension is off.
+        if self.cfg.enable_clustering {
+            self.clustering.record(ctx.thread, ctx.object);
+        }
         let replicas = self.table.replicas(ctx.object);
         if replicas.is_empty() {
             self.stats.local_operations += 1;
             return Placement::Local;
         }
-        let target = replication::nearest_replica(replicas, ctx.core, |a, b| {
+        let target = replication::nearest_replica(replicas.iter(), ctx.core, |a, b| {
             ctx.machine.hops_between_cores(a, b)
         })
         .expect("non-empty replica list");
@@ -192,7 +205,7 @@ impl SchedPolicy for O2Policy {
         let misses = delta.object_fetch_misses();
         let info = self
             .registry
-            .record_op(ctx.object, misses, self.cfg.ewma_alpha);
+            .record_op(ctx.object, ctx.object_key, misses, self.cfg.ewma_alpha);
         let assigned = self.table.is_assigned(ctx.object);
         let decision = verdict(&self.cfg, info, assigned);
         if decision == MonitorVerdict::Assign {
@@ -222,17 +235,19 @@ impl SchedPolicy for O2Policy {
             // at the capacity edge just trade one set of cached objects for
             // another and the refills swamp the machine.
             let mut budget = self.placement_failures_this_epoch;
-            for object in self.registry.idle_objects(self.cfg.decay_epochs) {
+            let mut idle = std::mem::take(&mut self.idle_scratch);
+            self.registry
+                .idle_objects_into(self.cfg.decay_epochs, &mut idle);
+            for &object in &idle {
                 if budget == 0 {
                     break;
                 }
-                if let Some(info) = self.registry.get(object) {
-                    if self.table.unassign(object, info.size()) {
-                        self.stats.decays += 1;
-                        budget -= 1;
-                    }
+                if self.table.unassign(object) {
+                    self.stats.decays += 1;
+                    budget -= 1;
                 }
             }
+            self.idle_scratch = idle;
         }
         self.placement_failures_this_epoch = 0;
 
@@ -263,7 +278,7 @@ impl SchedPolicy for O2Policy {
 
         // Replicate hot read-mostly objects (Section 6.2 extension).
         for r in replication::plan(&self.cfg, &self.table, &self.registry) {
-            if self.table.add_replica(r.object, r.size, r.core) {
+            if self.table.add_replica(r.object, r.core) {
                 self.stats.replications += 1;
             }
         }
@@ -364,13 +379,14 @@ mod tests {
         let mut policy = O2Policy::with_defaults(machine.config());
         // Simulate many cheap operations via the SchedPolicy interface.
         let desc = ObjectDescriptor::new(0x1000, 0x1000, 4096);
-        policy.register_object(&desc);
+        policy.register_object(0, &desc);
         for _ in 0..50 {
             let ctx = OpContext {
                 thread: 0,
                 core: 0,
                 home_core: 0,
-                object: 0x1000,
+                object: 0,
+                object_key: 0x1000,
                 now: 0,
                 machine: &machine,
             };
@@ -389,13 +405,14 @@ mod tests {
     fn expensive_object_is_assigned_after_min_ops() {
         let machine = quad_machine();
         let mut policy = O2Policy::with_defaults(machine.config());
-        policy.register_object(&ObjectDescriptor::new(0x1000, 0x1000, 32 * 1024));
+        policy.register_object(0, &ObjectDescriptor::new(0x1000, 0x1000, 32 * 1024));
         for i in 0..5 {
             let ctx = OpContext {
                 thread: 0,
                 core: 0,
                 home_core: 0,
-                object: 0x1000,
+                object: 0,
+                object_key: 0x1000,
                 now: i,
                 machine: &machine,
             };
@@ -406,7 +423,7 @@ mod tests {
             };
             policy.on_ct_end(&ctx, &delta);
         }
-        assert!(policy.table().is_assigned(0x1000));
+        assert!(policy.table().is_assigned(0));
         assert_eq!(policy.stats().assignments, 1);
 
         // Subsequent ct_start calls from another core now migrate.
@@ -414,7 +431,8 @@ mod tests {
             thread: 1,
             core: 3,
             home_core: 3,
-            object: 0x1000,
+            object: 0,
+            object_key: 0x1000,
             now: 100,
             machine: &machine,
         };
@@ -432,13 +450,14 @@ mod tests {
         // Force decay regardless of how little of the budget is in use.
         cfg.decay_pressure_threshold = 0.0;
         let mut policy = O2Policy::new(machine.config(), cfg);
-        policy.register_object(&ObjectDescriptor::new(0x1000, 0x1000, 32 * 1024));
+        policy.register_object(0, &ObjectDescriptor::new(0x1000, 0x1000, 32 * 1024));
         for _ in 0..5 {
             let ctx = OpContext {
                 thread: 0,
                 core: 0,
                 home_core: 0,
-                object: 0x1000,
+                object: 0,
+                object_key: 0x1000,
                 now: 0,
                 machine: &machine,
             };
@@ -449,17 +468,18 @@ mod tests {
             };
             policy.on_ct_end(&ctx, &delta);
         }
-        assert!(policy.table().is_assigned(0x1000));
+        assert!(policy.table().is_assigned(0));
         // A second object, too large to place anywhere, keeps failing
         // placement: that demand is what allows idle assignments to decay.
-        policy.register_object(&ObjectDescriptor::new(0x2000, 0x2000, 64 * 1024 * 1024));
+        policy.register_object(1, &ObjectDescriptor::new(0x2000, 0x2000, 64 * 1024 * 1024));
         let idle_delta = vec![CounterDelta::default(); 4];
         for epoch in 0..3u64 {
             let ctx = OpContext {
                 thread: 1,
                 core: 1,
                 home_core: 1,
-                object: 0x2000,
+                object: 1,
+                object_key: 0x2000,
                 now: epoch * 100_000,
                 machine: &machine,
             };
@@ -476,8 +496,120 @@ mod tests {
             };
             policy.on_epoch(&view);
         }
-        assert!(!policy.table().is_assigned(0x1000));
+        assert!(!policy.table().is_assigned(0));
         assert_eq!(policy.stats().decays, 1);
+    }
+
+    /// Drives `on_ct_end` for one expensive operation on `(dense, key)`.
+    fn expensive_op(policy: &mut O2Policy, machine: &Machine, dense: u32, key: u64) {
+        let ctx = OpContext {
+            thread: dense as usize,
+            core: dense % 4,
+            home_core: dense % 4,
+            object: dense,
+            object_key: key,
+            now: 0,
+            machine,
+        };
+        let delta = CounterDelta {
+            l2_misses: 5_000,
+            busy_cycles: 500_000,
+            ..Default::default()
+        };
+        policy.on_ct_end(&ctx, &delta);
+    }
+
+    fn fire_idle_epoch(policy: &mut O2Policy, machine: &Machine, epoch: u64) {
+        let idle = vec![CounterDelta::default(); 4];
+        let view = EpochView {
+            now: (epoch + 1) * 100_000,
+            machine,
+            deltas: &idle,
+        };
+        policy.on_epoch(&view);
+    }
+
+    #[test]
+    fn idle_assignments_survive_when_nothing_fails_placement() {
+        // The decay gate: idle assignments are only released when
+        // `placement_failures_this_epoch > 0`. Without demand, an idle
+        // assignment stays put no matter how long it idles or how full
+        // the budget looks.
+        let machine = quad_machine();
+        let mut cfg = CoreTimeConfig::default();
+        cfg.enable_decay = true;
+        cfg.decay_epochs = 1;
+        cfg.decay_pressure_threshold = 0.0;
+        let mut policy = O2Policy::new(machine.config(), cfg);
+        policy.register_object(0, &ObjectDescriptor::new(0x1000, 0x1000, 32 * 1024));
+        for _ in 0..5 {
+            expensive_op(&mut policy, &machine, 0, 0x1000);
+        }
+        assert!(policy.table().is_assigned(0));
+        for epoch in 0..6 {
+            fire_idle_epoch(&mut policy, &machine, epoch);
+        }
+        assert!(
+            policy.table().is_assigned(0),
+            "idle assignment released without any placement failure"
+        );
+        assert_eq!(policy.stats().decays, 0);
+    }
+
+    #[test]
+    fn decayed_bytes_return_to_the_packing_budget() {
+        // Fill every core, then keep failing to place one more object:
+        // decay must release an idle assignment and the freed bytes must
+        // be usable by the very object whose failures opened the gate.
+        let machine = quad_machine();
+        let mut cfg = CoreTimeConfig::default();
+        cfg.enable_decay = true;
+        cfg.decay_epochs = 2;
+        let mut policy = O2Policy::new(machine.config(), cfg);
+        let per_core = policy.table().capacity(0);
+        let big = per_core - 40 * 1024; // fills a core, leaves ~40 KB
+        for dense in 0..4u32 {
+            let key = 0x1000 * (u64::from(dense) + 1);
+            policy.register_object(dense, &ObjectDescriptor::new(key, key, big));
+            for _ in 0..5 {
+                expensive_op(&mut policy, &machine, dense, key);
+            }
+        }
+        assert_eq!(policy.table().len(), 4, "one filler per core");
+        assert!(policy.table().free_bytes(0) < 64 * 1024);
+        // Object 4 needs more than any core's leftover, less than a core.
+        policy.register_object(4, &ObjectDescriptor::new(0x9000, 0x9000, 600 * 1024));
+        let mut epoch = 0u64;
+        // Two epochs of failing demand: fillers idle up but are not yet
+        // idle for `decay_epochs`, so nothing decays.
+        for _ in 0..2 {
+            expensive_op(&mut policy, &machine, 4, 0x9000);
+            fire_idle_epoch(&mut policy, &machine, epoch);
+            epoch += 1;
+        }
+        assert_eq!(policy.stats().decays, 0);
+        assert!(!policy.table().is_assigned(4));
+        // Third epoch: the fillers are now idle long enough and the gate
+        // is open (pressure high, failures pending) — exactly one decays
+        // (one release per failing placement, not a mass flush).
+        expensive_op(&mut policy, &machine, 4, 0x9000);
+        fire_idle_epoch(&mut policy, &machine, epoch);
+        epoch += 1;
+        assert_eq!(policy.stats().decays, 1);
+        // The longest-idle tie broke by key: object 0 (key 0x1000) went.
+        assert!(!policy.table().is_assigned(0));
+        let freed_core = 0u32;
+        assert_eq!(
+            policy.table().free_bytes(freed_core),
+            policy.table().capacity(freed_core),
+            "decayed bytes did not return to the packing budget"
+        );
+        // The returned budget is immediately usable: the next operation on
+        // the starved object places it into the freed space.
+        expensive_op(&mut policy, &machine, 4, 0x9000);
+        assert!(policy.table().is_assigned(4));
+        assert_eq!(policy.table().primary(4), Some(freed_core));
+        let _ = epoch;
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! objects from that core's cache to the cache of a core that has more idle
 //! cycles and rarely loads from the L2 cache." (Section 4)
 
-use o2_runtime::{CoreId, ObjectId};
+use o2_runtime::{CoreId, DenseObjectId};
 use o2_sim::CounterDelta;
 
 use crate::config::CoreTimeConfig;
@@ -19,7 +19,7 @@ use crate::table::AssignmentTable;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Move {
     /// The object to move.
-    pub object: ObjectId,
+    pub object: DenseObjectId,
     /// The core it currently lives on.
     pub from: CoreId,
     /// The core it should move to.
@@ -82,18 +82,11 @@ pub fn plan(
         return Vec::new();
     }
 
-    // Most DRAM-starved overloaded cores first.
-    overloaded.sort_by(|a, b| {
-        deltas[*b as usize]
-            .dram_loads
-            .cmp(&deltas[*a as usize].dram_loads)
-    });
-    // Most idle receivers first.
-    underloaded.sort_by(|a, b| {
-        deltas[*b as usize]
-            .idle_cycles
-            .cmp(&deltas[*a as usize].idle_cycles)
-    });
+    // Most DRAM-starved overloaded cores first; ties broken by core id so
+    // the plan is a pure function of the counter values.
+    overloaded.sort_by_key(|&c| (std::cmp::Reverse(deltas[c as usize].dram_loads), c));
+    // Most idle receivers first, same tie-break.
+    underloaded.sort_by_key(|&c| (std::cmp::Reverse(deltas[c as usize].idle_cycles), c));
 
     let mut moves = Vec::new();
     let mut free: Vec<u64> = (0..table.num_cores() as CoreId)
@@ -105,9 +98,15 @@ pub fn plan(
         if budget == 0 {
             continue;
         }
-        // Move the coldest objects first.
-        let mut objs: Vec<ObjectId> = table.objects_on(from).to_vec();
-        objs.sort_by_key(|o| registry.get(*o).map(|i| i.ops_last_epoch).unwrap_or(0));
+        // Move the coldest objects first; ties broken by external key so
+        // the victim order does not depend on the table's internal layout.
+        let mut objs: Vec<DenseObjectId> = table.objects_on(from).to_vec();
+        objs.sort_by_key(|&o| {
+            (
+                registry.get(o).map(|i| i.ops_last_epoch).unwrap_or(0),
+                registry.key_of(o),
+            )
+        });
         let mut moved = 0u64;
         for obj in objs {
             if moved >= budget {
@@ -169,10 +168,13 @@ mod tests {
         assert_eq!(classify(&cfg, &delta(95_000, 5_000, 10)), CoreLoad::Normal);
     }
 
-    fn registry_with(sizes: &[(u64, u64)]) -> ObjectRegistry {
+    fn registry_with(sizes: &[(u32, u64)]) -> ObjectRegistry {
         let mut reg = ObjectRegistry::new(64);
         for &(id, size) in sizes {
-            reg.register(ObjectDescriptor::new(id, id * 0x10000, size));
+            reg.register(
+                id,
+                ObjectDescriptor::new(u64::from(id), u64::from(id) * 0x10000, size),
+            );
         }
         reg
     }

@@ -11,7 +11,7 @@
 //! already-assigned objects; if so, it evicts the colder objects and admits
 //! the new one.
 
-use o2_runtime::{CoreId, ObjectId};
+use o2_runtime::{CoreId, DenseObjectId, ObjectId};
 
 use crate::object::ObjectRegistry;
 use crate::table::AssignmentTable;
@@ -22,7 +22,7 @@ pub struct Admission {
     /// The core the new object was assigned to.
     pub core: CoreId,
     /// Objects that were evicted (unassigned) to make room.
-    pub evicted: Vec<ObjectId>,
+    pub evicted: Vec<DenseObjectId>,
 }
 
 /// Tries to admit `object` (of `size` bytes, with `frequency` operations
@@ -35,12 +35,12 @@ pub struct Admission {
 pub fn admit_with_replacement(
     table: &mut AssignmentTable,
     registry: &ObjectRegistry,
-    object: ObjectId,
+    object: DenseObjectId,
     size: u64,
     frequency: u64,
 ) -> Option<Admission> {
     // (core, victims to evict, bytes freed by evicting them)
-    type Candidate = (CoreId, Vec<(ObjectId, u64)>, u64);
+    type Candidate = (CoreId, Vec<(DenseObjectId, u64)>, u64);
     let mut best: Option<Candidate> = None;
 
     for core in 0..table.num_cores() as CoreId {
@@ -55,23 +55,26 @@ pub fn admit_with_replacement(
             break;
         }
         // Candidate victims: strictly colder objects on this core, coldest
-        // first.
-        let mut victims: Vec<(ObjectId, u64, u64)> = table
+        // first, ties broken by external key. Sizes come from the table's
+        // charged bytes, so the freed estimate matches what eviction will
+        // actually release.
+        let mut victims: Vec<(DenseObjectId, ObjectId, u64, u64)> = table
             .objects_on(core)
             .iter()
             .filter_map(|&o| {
+                let charged = table.charged_bytes(o)?;
                 registry
                     .get(o)
-                    .map(|info| (o, info.ops_last_epoch, info.size()))
+                    .map(|info| (o, info.key(), info.ops_last_epoch, charged))
             })
-            .filter(|&(_, ops, _)| ops < frequency)
+            .filter(|&(_, _, ops, _)| ops < frequency)
             .collect();
-        victims.sort_by_key(|&(id, ops, _)| (ops, id));
+        victims.sort_by_key(|&(_, key, ops, _)| (ops, key));
 
         let mut freed = 0u64;
-        let mut chosen: Vec<(ObjectId, u64)> = Vec::new();
+        let mut chosen: Vec<(DenseObjectId, u64)> = Vec::new();
         let mut victim_heat = 0u64;
-        for (id, ops, vsize) in victims {
+        for (id, _, ops, vsize) in victims {
             if freed >= needed {
                 break;
             }
@@ -94,8 +97,8 @@ pub fn admit_with_replacement(
 
     let (core, victims, _) = best?;
     let mut evicted = Vec::new();
-    for (victim, vsize) in victims {
-        table.unassign(victim, vsize);
+    for (victim, _vsize) in victims {
+        table.unassign(victim);
         evicted.push(victim);
     }
     if !table.assign(object, size, core) {
@@ -111,13 +114,16 @@ mod tests {
     use super::*;
     use o2_runtime::ObjectDescriptor;
 
-    fn registry(entries: &[(u64, u64, u64)]) -> ObjectRegistry {
+    fn registry(entries: &[(u32, u64, u64)]) -> ObjectRegistry {
         // (id, size, ops_last_epoch)
         let mut reg = ObjectRegistry::new(64);
         for &(id, size, ops) in entries {
-            reg.register(ObjectDescriptor::new(id, id * 0x10000, size));
+            reg.register(
+                id,
+                ObjectDescriptor::new(u64::from(id), u64::from(id) * 0x10000, size),
+            );
             for _ in 0..ops {
-                reg.record_op(id, 1, 0.3);
+                reg.record_op(id, u64::from(id), 1, 0.3);
             }
         }
         reg.roll_epoch();

@@ -6,7 +6,7 @@
 //! that operations on them can run on several cores, trading on-chip
 //! capacity for parallelism.
 
-use o2_runtime::{CoreId, ObjectId};
+use o2_runtime::{CoreId, DenseObjectId, ObjectId};
 
 use crate::config::CoreTimeConfig;
 use crate::object::ObjectRegistry;
@@ -16,7 +16,7 @@ use crate::table::AssignmentTable;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Replica {
     /// The object to replicate.
-    pub object: ObjectId,
+    pub object: DenseObjectId,
     /// The core that should receive the new copy.
     pub core: CoreId,
     /// Object size in bytes.
@@ -40,24 +40,40 @@ pub fn plan(
         .map(|c| table.free_bytes(c))
         .collect();
 
-    // Deterministic order: hottest objects first.
-    let mut candidates: Vec<(ObjectId, u64, u64)> = registry
-        .iter()
-        .filter(|(_, info)| info.desc.read_mostly)
-        .filter(|(_, info)| info.ops_last_epoch >= cfg.replication_hot_ops)
-        .map(|(id, info)| (*id, info.ops_last_epoch, info.size()))
-        .collect();
-    candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    // Deterministic order: hottest objects first, ties by external key.
+    // With a positive hot-ops threshold only objects operated on last
+    // epoch can qualify, so the normal path walks the registry's dirty
+    // list instead of scanning every object; a threshold of zero means
+    // "replicate every read-mostly object", which needs the full scan.
+    let collect = |it: &mut dyn Iterator<Item = (DenseObjectId, &crate::object::ObjectInfo)>| {
+        it.filter(|(_, info)| info.desc.read_mostly)
+            .filter(|(_, info)| info.ops_last_epoch >= cfg.replication_hot_ops)
+            .map(|(id, info)| (id, info.ops_last_epoch, info.key()))
+            .collect::<Vec<_>>()
+    };
+    let mut candidates: Vec<(DenseObjectId, u64, ObjectId)> = if cfg.replication_hot_ops == 0 {
+        collect(&mut registry.iter())
+    } else {
+        collect(&mut registry.active_last_epoch())
+    };
+    candidates.sort_by_key(|&(_, ops, key)| (std::cmp::Reverse(ops), key));
 
-    for (object, _ops, size) in candidates {
+    for (object, _ops, _key) in candidates {
         let existing = table.replicas(object);
         if existing.is_empty() || existing.len() >= cfg.max_replicas as usize {
             continue;
         }
+        // Budget with the size each copy is actually charged at in the
+        // table (the assign-time size), not the registry's current size —
+        // the two can diverge after re-registration or estimate growth,
+        // and `add_replica` will charge the former.
+        let size = table
+            .charged_bytes(object)
+            .expect("assigned object has a charge");
         // Pick the core with the most free budget that has no copy yet.
         let target = (0..table.num_cores() as CoreId)
-            .filter(|c| !existing.contains(c) && free[*c as usize] >= size)
-            .max_by_key(|c| free[*c as usize]);
+            .filter(|&c| !existing.contains(c) && free[c as usize] >= size)
+            .max_by_key(|&c| free[c as usize]);
         if let Some(core) = target {
             free[core as usize] -= size;
             plans.push(Replica { object, core, size });
@@ -68,15 +84,15 @@ pub fn plan(
 
 /// Chooses which copy of a replicated object an operation should use: the
 /// one closest to the requesting core (by chip hop distance), breaking ties
-/// towards the lowest core id for determinism.
+/// towards the lowest core id for determinism. Takes any core iterator, so
+/// it consumes the assignment table's inline bitmask without allocating.
 pub fn nearest_replica(
-    replicas: &[CoreId],
+    replicas: impl IntoIterator<Item = CoreId>,
     from_core: CoreId,
     hops: impl Fn(CoreId, CoreId) -> u32,
 ) -> Option<CoreId> {
     replicas
-        .iter()
-        .copied()
+        .into_iter()
         .min_by_key(|&c| (hops(from_core, c), c))
 }
 
@@ -90,9 +106,12 @@ mod tests {
         cfg.enable_replication = true;
         let mut table = AssignmentTable::new(vec![100_000; 4]);
         let mut registry = ObjectRegistry::new(64);
-        registry.register(ObjectDescriptor::new(1, 0x1000, 8_000).read_mostly(read_mostly));
+        registry.register(
+            1,
+            ObjectDescriptor::new(1, 0x1000, 8_000).read_mostly(read_mostly),
+        );
         for _ in 0..hot_ops {
-            registry.record_op(1, 4, 0.3);
+            registry.record_op(1, 1, 4, 0.3);
         }
         registry.roll_epoch();
         table.assign(1, 8_000, 0);
@@ -127,14 +146,41 @@ mod tests {
     fn replica_count_is_capped() {
         let (mut cfg, mut table, registry) = setup(100, true);
         cfg.max_replicas = 2;
-        table.add_replica(1, 8_000, 1);
+        table.add_replica(1, 1);
         assert!(plan(&cfg, &table, &registry).is_empty());
+    }
+
+    #[test]
+    fn zero_hot_ops_threshold_replicates_idle_read_mostly_objects() {
+        // A threshold of zero means every assigned read-mostly object
+        // qualifies, even one that was idle last epoch — this takes the
+        // full-scan path rather than the dirty-list fast path.
+        let (mut cfg, table, mut registry) = setup(0, true);
+        cfg.replication_hot_ops = 0;
+        registry.roll_epoch(); // object 1 is now idle (no ops last epoch)
+        assert_eq!(registry.get(1).unwrap().ops_last_epoch, 0);
+        let plans = plan(&cfg, &table, &registry);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].object, 1);
+    }
+
+    #[test]
+    fn plans_budget_with_the_charged_size_after_a_size_drift() {
+        // The object was assigned at 8 000 bytes; a later re-registration
+        // shrinks its registry size. The plan must still budget (and
+        // report) the charged 8 000, since that is what add_replica will
+        // charge.
+        let (cfg, table, mut registry) = setup(100, true);
+        registry.register(1, ObjectDescriptor::new(1, 0x1000, 4_000).read_mostly(true));
+        let plans = plan(&cfg, &table, &registry);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].size, 8_000);
     }
 
     #[test]
     fn unassigned_objects_are_not_replicated() {
         let (cfg, mut table, registry) = setup(100, true);
-        table.unassign(1, 8_000);
+        table.unassign(1);
         assert!(plan(&cfg, &table, &registry).is_empty());
     }
 
@@ -142,10 +188,10 @@ mod tests {
     fn nearest_replica_prefers_same_chip() {
         // Pretend cores 0-3 are chip 0 and 4-7 chip 1.
         let hops = |a: CoreId, b: CoreId| u32::from((a / 4) != (b / 4));
-        assert_eq!(nearest_replica(&[6, 2], 1, hops), Some(2));
-        assert_eq!(nearest_replica(&[6, 2], 5, hops), Some(6));
-        assert_eq!(nearest_replica(&[], 0, hops), None);
+        assert_eq!(nearest_replica([6, 2], 1, hops), Some(2));
+        assert_eq!(nearest_replica([6, 2], 5, hops), Some(6));
+        assert_eq!(nearest_replica([], 0, hops), None);
         // Tie: lowest core id wins.
-        assert_eq!(nearest_replica(&[3, 1], 0, hops), Some(1));
+        assert_eq!(nearest_replica([3, 1], 0, hops), Some(1));
     }
 }

@@ -4,33 +4,116 @@
 //! is scheduled to a specific core" (Section 4). The table also tracks how
 //! many bytes each core's cache budget has been packed with, which is what
 //! the greedy cache-packing algorithm consumes.
+//!
+//! The table is a flat slab indexed by dense object id: one
+//! [`AssignmentSlot`] per object holding the primary core and an inline
+//! bitmask of every core with a copy. The `ct_start` lookup is two array
+//! reads and the whole decision path allocates nothing — the previous
+//! implementation kept a `HashMap<ObjectId, Vec<CoreId>>` and paid a hash
+//! plus a heap-allocated core list per object.
 
-use std::collections::HashMap;
+use o2_runtime::{CoreId, DenseObjectId};
 
-use o2_runtime::{CoreId, ObjectId};
+/// Sentinel primary core for "not assigned".
+const NO_CORE: CoreId = CoreId::MAX;
+
+/// Per-object assignment state: the primary core, a bitmask of every
+/// core holding a copy (primary included), and the bytes each copy was
+/// charged at. Kept inline in the table's slab.
+///
+/// Recording the charged size in the slot makes release exact: an
+/// object's *registry* size may drift after assignment (the estimated
+/// size of an auto-registered object grows towards the largest observed
+/// footprint), and releasing at the drifted size would corrupt the
+/// per-core byte accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssignmentSlot {
+    primary: CoreId,
+    cores: u64,
+    bytes: u64,
+}
+
+impl AssignmentSlot {
+    const VACANT: AssignmentSlot = AssignmentSlot {
+        primary: NO_CORE,
+        cores: 0,
+        bytes: 0,
+    };
+
+    fn is_assigned(&self) -> bool {
+        self.primary != NO_CORE
+    }
+}
+
+/// The set of cores holding an object, as an inline bitmask. Iteration is
+/// in ascending core order; all set operations are branch-free bit tricks,
+/// so `ct_start` never touches the heap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreSet(u64);
+
+impl CoreSet {
+    /// Whether no core holds the object.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of cores holding the object.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether `core` holds a copy.
+    pub fn contains(self, core: CoreId) -> bool {
+        core < 64 && self.0 & (1u64 << core) != 0
+    }
+
+    /// The cores in the set, ascending.
+    pub fn iter(self) -> impl Iterator<Item = CoreId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let core = bits.trailing_zeros();
+            bits &= bits - 1;
+            Some(core)
+        })
+    }
+
+    /// The raw bitmask.
+    pub fn mask(self) -> u64 {
+        self.0
+    }
+}
 
 /// The assignment table: object → one primary core plus optional replicas.
 #[derive(Debug, Clone)]
 pub struct AssignmentTable {
-    /// Assigned cores per object; the first entry is the primary.
-    assignments: HashMap<ObjectId, Vec<CoreId>>,
+    /// Assignment slot per dense object id.
+    slots: Vec<AssignmentSlot>,
     /// Bytes of objects assigned to each core.
     used_bytes: Vec<u64>,
     /// Per-core capacity budgets in bytes.
     capacities: Vec<u64>,
-    /// Objects assigned to each core (primary or replica).
-    per_core: Vec<Vec<ObjectId>>,
+    /// Objects assigned to each core (primary or replica), in assignment
+    /// order. Kept for the epoch planners; the per-operation path never
+    /// reads it.
+    per_core: Vec<Vec<DenseObjectId>>,
+    /// Number of currently assigned objects.
+    assigned: usize,
 }
 
 impl AssignmentTable {
     /// Creates a table for cores with the given capacity budgets.
     pub fn new(capacities: Vec<u64>) -> Self {
         let n = capacities.len();
+        assert!(n <= 64, "AssignmentTable supports at most 64 cores");
         Self {
-            assignments: HashMap::new(),
+            slots: Vec::new(),
             used_bytes: vec![0; n],
             capacities,
             per_core: vec![Vec::new(); n],
+            assigned: 0,
         }
     }
 
@@ -39,42 +122,60 @@ impl AssignmentTable {
         self.capacities.len()
     }
 
-    /// The primary core an object is assigned to, if any.
-    pub fn primary(&self, object: ObjectId) -> Option<CoreId> {
-        self.assignments
-            .get(&object)
-            .and_then(|v| v.first().copied())
+    #[inline]
+    fn slot(&self, object: DenseObjectId) -> AssignmentSlot {
+        self.slots
+            .get(object as usize)
+            .copied()
+            .unwrap_or(AssignmentSlot::VACANT)
     }
 
-    /// Every core holding the object (primary first).
-    pub fn replicas(&self, object: ObjectId) -> &[CoreId] {
-        self.assignments
-            .get(&object)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+    #[inline]
+    fn slot_mut(&mut self, object: DenseObjectId) -> &mut AssignmentSlot {
+        let idx = object as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, AssignmentSlot::VACANT);
+        }
+        &mut self.slots[idx]
+    }
+
+    /// The primary core an object is assigned to, if any.
+    #[inline]
+    pub fn primary(&self, object: DenseObjectId) -> Option<CoreId> {
+        let s = self.slot(object);
+        s.is_assigned().then_some(s.primary)
+    }
+
+    /// Every core holding the object (primary included), as a bitmask set.
+    #[inline]
+    pub fn replicas(&self, object: DenseObjectId) -> CoreSet {
+        CoreSet(self.slot(object).cores)
     }
 
     /// Whether the object is assigned anywhere.
-    pub fn is_assigned(&self, object: ObjectId) -> bool {
-        self.assignments.contains_key(&object)
+    #[inline]
+    pub fn is_assigned(&self, object: DenseObjectId) -> bool {
+        self.slot(object).is_assigned()
     }
 
     /// Number of assigned objects.
     pub fn len(&self) -> usize {
-        self.assignments.len()
+        self.assigned
     }
 
     /// Whether no objects are assigned.
     pub fn is_empty(&self) -> bool {
-        self.assignments.is_empty()
+        self.assigned == 0
     }
 
     /// Free bytes remaining in a core's budget.
+    #[inline]
     pub fn free_bytes(&self, core: CoreId) -> u64 {
         self.capacities[core as usize].saturating_sub(self.used_bytes[core as usize])
     }
 
     /// Bytes currently assigned to a core.
+    #[inline]
     pub fn used_bytes(&self, core: CoreId) -> u64 {
         self.used_bytes[core as usize]
     }
@@ -84,8 +185,10 @@ impl AssignmentTable {
         self.capacities[core as usize]
     }
 
-    /// Objects assigned (primary or replica) to a core.
-    pub fn objects_on(&self, core: CoreId) -> &[ObjectId] {
+    /// Objects assigned (primary or replica) to a core, in assignment
+    /// order. Consumers that care about a specific order must sort with a
+    /// total key — see the epoch planners.
+    pub fn objects_on(&self, core: CoreId) -> &[DenseObjectId] {
         &self.per_core[core as usize]
     }
 
@@ -93,75 +196,90 @@ impl AssignmentTable {
     /// Any previous assignment (including replicas) is removed first.
     /// Returns `false` (leaving the table unchanged) if the core lacks
     /// space.
-    pub fn assign(&mut self, object: ObjectId, size: u64, core: CoreId) -> bool {
-        if self.free_bytes(core) < size && !self.replicas(object).contains(&core) {
+    pub fn assign(&mut self, object: DenseObjectId, size: u64, core: CoreId) -> bool {
+        if self.free_bytes(core) < size && !self.replicas(object).contains(core) {
             return false;
         }
-        self.unassign(object, size);
-        self.used_bytes[core as usize] += size;
-        self.per_core[core as usize].push(object);
-        self.assignments.insert(object, vec![core]);
+        self.unassign(object);
+        self.place(object, size, core);
         true
     }
 
     /// Forces an assignment even if it overflows the core's budget (used by
     /// the replacement policy after it has made room).
-    pub fn assign_unchecked(&mut self, object: ObjectId, size: u64, core: CoreId) {
-        self.unassign(object, size);
-        self.used_bytes[core as usize] += size;
-        self.per_core[core as usize].push(object);
-        self.assignments.insert(object, vec![core]);
+    pub fn assign_unchecked(&mut self, object: DenseObjectId, size: u64, core: CoreId) {
+        self.unassign(object);
+        self.place(object, size, core);
     }
 
-    /// Adds a replica of an already-assigned object on another core.
-    /// Returns `false` if the object is unassigned, the core lacks space,
-    /// or the core already holds a copy.
-    pub fn add_replica(&mut self, object: ObjectId, size: u64, core: CoreId) -> bool {
-        let Some(cores) = self.assignments.get(&object) else {
-            return false;
+    fn place(&mut self, object: DenseObjectId, size: u64, core: CoreId) {
+        self.used_bytes[core as usize] += size;
+        self.per_core[core as usize].push(object);
+        *self.slot_mut(object) = AssignmentSlot {
+            primary: core,
+            cores: 1u64 << core,
+            bytes: size,
         };
-        if cores.contains(&core) || self.free_bytes(core) < size {
+        self.assigned += 1;
+    }
+
+    /// The bytes an object was charged at when it was assigned (the size
+    /// of each of its copies in the budget accounting), if assigned.
+    pub fn charged_bytes(&self, object: DenseObjectId) -> Option<u64> {
+        let s = self.slot(object);
+        s.is_assigned().then_some(s.bytes)
+    }
+
+    /// Adds a replica of an already-assigned object on another core,
+    /// charged at the same size as the primary copy. Returns `false` if
+    /// the object is unassigned, the core lacks space, or the core
+    /// already holds a copy.
+    pub fn add_replica(&mut self, object: DenseObjectId, core: CoreId) -> bool {
+        let s = self.slot(object);
+        if !s.is_assigned() || CoreSet(s.cores).contains(core) || self.free_bytes(core) < s.bytes {
             return false;
         }
-        self.assignments
-            .get_mut(&object)
-            .expect("checked")
-            .push(core);
-        self.used_bytes[core as usize] += size;
+        self.slot_mut(object).cores |= 1u64 << core;
+        self.used_bytes[core as usize] += s.bytes;
         self.per_core[core as usize].push(object);
         true
     }
 
     /// Removes an object (and all its replicas) from the table, releasing
-    /// the bytes it occupied. Returns whether it was assigned.
-    pub fn unassign(&mut self, object: ObjectId, size: u64) -> bool {
-        let Some(cores) = self.assignments.remove(&object) else {
+    /// exactly the bytes each copy was charged at. Returns whether it was
+    /// assigned.
+    pub fn unassign(&mut self, object: DenseObjectId) -> bool {
+        let s = self.slot(object);
+        if !s.is_assigned() {
             return false;
-        };
-        for core in cores {
+        }
+        for core in CoreSet(s.cores).iter() {
             let c = core as usize;
-            self.used_bytes[c] = self.used_bytes[c].saturating_sub(size);
+            self.used_bytes[c] = self.used_bytes[c].saturating_sub(s.bytes);
             self.per_core[c].retain(|&o| o != object);
         }
+        *self.slot_mut(object) = AssignmentSlot::VACANT;
+        self.assigned -= 1;
         true
     }
 
     /// Moves an object's primary copy from one core to another (dropping
-    /// replicas). Returns `false` if the destination lacks space.
-    pub fn reassign(&mut self, object: ObjectId, size: u64, to: CoreId) -> bool {
+    /// replicas), re-charging it at `size`. Returns `false` if the
+    /// destination lacks space.
+    pub fn reassign(&mut self, object: DenseObjectId, size: u64, to: CoreId) -> bool {
         if !self.is_assigned(object) {
             return false;
         }
-        if self.free_bytes(to) < size && !self.replicas(object).contains(&to) {
+        if self.free_bytes(to) < size && !self.replicas(object).contains(to) {
             return false;
         }
-        self.unassign(object, size);
+        self.unassign(object);
         self.assign(object, size, to)
     }
 
     /// Core with the most free budget.
     pub fn most_free_core(&self) -> CoreId {
-        (0..self.capacities.len() as u32)
+        (0..self.capacities.len() as CoreId)
             .max_by_key(|&c| self.free_bytes(c))
             .unwrap_or(0)
     }
@@ -227,8 +345,8 @@ mod tests {
     fn unassign_releases_capacity() {
         let mut t = table();
         t.assign(1, 500, 0);
-        assert!(t.unassign(1, 500));
-        assert!(!t.unassign(1, 500));
+        assert!(t.unassign(1));
+        assert!(!t.unassign(1));
         assert_eq!(t.free_bytes(0), 1000);
         assert!(t.is_empty());
     }
@@ -237,22 +355,26 @@ mod tests {
     fn replicas_occupy_space_on_each_core() {
         let mut t = table();
         t.assign(1, 300, 0);
-        assert!(t.add_replica(1, 300, 1));
-        assert!(t.add_replica(1, 300, 2));
+        assert!(t.add_replica(1, 1));
+        assert!(t.add_replica(1, 2));
         // Already replicated there.
-        assert!(!t.add_replica(1, 300, 1));
-        assert_eq!(t.replicas(1), &[0, 1, 2]);
+        assert!(!t.add_replica(1, 1));
+        assert_eq!(t.replicas(1).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(t.replicas(1).len(), 3);
+        assert!(t.replicas(1).contains(2));
+        assert!(!t.replicas(1).contains(3));
         assert_eq!(t.total_assigned_bytes(), 900);
         // Unassign removes every copy.
-        t.unassign(1, 300);
+        t.unassign(1);
         assert_eq!(t.total_assigned_bytes(), 0);
         assert!(t.objects_on(1).is_empty());
+        assert!(t.replicas(1).is_empty());
     }
 
     #[test]
     fn replica_of_unassigned_object_fails() {
         let mut t = table();
-        assert!(!t.add_replica(5, 100, 0));
+        assert!(!t.add_replica(5, 0));
     }
 
     #[test]
@@ -288,5 +410,43 @@ mod tests {
         assert!(t.assign(1, 400, 2));
         assert_eq!(t.used_bytes(2), 400);
         assert_eq!(t.objects_on(2), &[1]);
+    }
+
+    #[test]
+    fn release_uses_the_charged_size_not_a_drifted_one() {
+        // An auto-registered object's estimated size can grow after it
+        // was assigned; release must subtract exactly what was charged,
+        // never the drifted registry size.
+        let mut t = table();
+        t.assign(1, 400, 2);
+        t.assign(2, 300, 2);
+        assert_eq!(t.charged_bytes(1), Some(400));
+        assert!(t.unassign(1));
+        assert_eq!(t.used_bytes(2), 300, "object 2's bytes must survive");
+        assert_eq!(t.charged_bytes(1), None);
+        // Replicas are charged at the primary's assign-time size too.
+        t.assign(3, 250, 0);
+        assert!(t.add_replica(3, 1));
+        assert_eq!(t.used_bytes(1), 250);
+        t.unassign(3);
+        assert_eq!(t.used_bytes(0) + t.used_bytes(1), 0);
+        assert_eq!(t.used_bytes(2), 300);
+    }
+
+    #[test]
+    fn lookups_past_the_slab_end_are_unassigned() {
+        let t = table();
+        assert_eq!(t.primary(1_000_000), None);
+        assert!(t.replicas(1_000_000).is_empty());
+        assert!(!t.is_assigned(1_000_000));
+    }
+
+    #[test]
+    fn core_set_iteration_is_ascending() {
+        let s = CoreSet(0b1010_0001);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 5, 7]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(CoreSet::default().is_empty());
     }
 }

@@ -21,16 +21,17 @@
 //! had idled cycle by cycle.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::action::{Action, ObjectDescriptor};
 use crate::behaviour::{BehaviourCtx, ThreadBehaviour};
 use crate::config::RuntimeConfig;
+use crate::object_index::ObjectIndex;
 use crate::policy::{EpochView, OpContext, Placement, PolicyCommand, SchedPolicy};
 use crate::stats::{RunWindow, SchedStats};
 use crate::sync::LockRegistry;
 use crate::thread::{OpRecord, Thread, ThreadState, ThreadStats};
-use crate::types::{CoreId, Cycles, LockId, ObjectId, ThreadId};
+use crate::types::{CoreId, Cycles, DenseObjectId, LockId, ObjectId, ThreadId};
 use o2_sim::{AccessKind, Machine, MachineCounters, MemStats};
 
 /// A thread in transit to a core's migration inbox.
@@ -61,7 +62,9 @@ pub struct Engine {
     locations: Vec<Option<CoreId>>,
     locks: LockRegistry,
     policy: Box<dyn SchedPolicy>,
-    objects: HashMap<ObjectId, ObjectDescriptor>,
+    /// Interns sparse object keys into dense ids and holds the descriptor
+    /// slab; consulted on every `ct_start`.
+    objects: ObjectIndex,
     live_threads: usize,
     total_ops: u64,
     next_epoch: Cycles,
@@ -91,7 +94,7 @@ impl Engine {
             locations: Vec::new(),
             locks: LockRegistry::new(),
             policy,
-            objects: HashMap::new(),
+            objects: ObjectIndex::default(),
             live_threads: 0,
             total_ops: 0,
             next_epoch,
@@ -121,10 +124,13 @@ impl Engine {
         id
     }
 
-    /// Registers a schedulable object (and informs the policy).
-    pub fn register_object(&mut self, desc: ObjectDescriptor) {
-        self.policy.register_object(&desc);
-        self.objects.insert(desc.id, desc);
+    /// Registers a schedulable object: interns its key into a dense id,
+    /// stores the descriptor, and informs the policy. Returns the dense id
+    /// under which the policy will see all operations on the object.
+    pub fn register_object(&mut self, desc: ObjectDescriptor) -> DenseObjectId {
+        let dense = self.objects.register(desc);
+        self.policy.register_object(dense, &desc);
+        dense
     }
 
     /// Registers a spin lock whose word lives at `addr`.
@@ -153,6 +159,11 @@ impl Engine {
     /// The installed scheduling policy.
     pub fn policy(&self) -> &dyn SchedPolicy {
         self.policy.as_ref()
+    }
+
+    /// The object index: dense id assignments and the descriptor slab.
+    pub fn object_index(&self) -> &ObjectIndex {
+        &self.objects
     }
 
     /// Total operations completed since the engine was created.
@@ -619,12 +630,16 @@ impl Engine {
         }
     }
 
-    fn exec_ct_start(&mut self, core_idx: usize, tid: ThreadId, object: ObjectId) {
+    fn exec_ct_start(&mut self, core_idx: usize, tid: ThreadId, object_key: ObjectId) {
         let core_id = core_idx as CoreId;
         assert!(
             !self.threads[tid].in_operation(),
             "thread {tid}: ct_start inside an operation"
         );
+        // Interning is the "table lookup" of the paper's ct_start: one
+        // probe of the flat index, after which the policy works purely
+        // with dense ids.
+        let object = self.objects.intern(object_key);
         let now = self.cores[core_idx].clock;
         self.threads[tid].current_op = Some(OpRecord {
             object,
@@ -640,6 +655,7 @@ impl Engine {
             core: core_id,
             home_core: self.threads[tid].home_core,
             object,
+            object_key,
             now,
             machine: &self.machine,
         };
@@ -672,6 +688,7 @@ impl Engine {
             core: core_id,
             home_core: self.threads[tid].home_core,
             object: op.object,
+            object_key: self.objects.key_of(op.object),
             now: self.cores[core_idx].clock,
             machine: &self.machine,
         };

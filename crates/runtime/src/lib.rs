@@ -40,6 +40,7 @@ pub mod action;
 pub mod behaviour;
 pub mod config;
 pub mod engine;
+pub mod object_index;
 pub mod policy;
 pub mod stats;
 pub mod sync;
@@ -53,13 +54,14 @@ pub use behaviour::{
 };
 pub use config::RuntimeConfig;
 pub use engine::Engine;
+pub use object_index::ObjectIndex;
 pub use policy::{
     EpochView, NullPolicy, OpContext, Placement, PolicyCommand, SchedPolicy, StaticPolicy,
 };
 pub use stats::{RunWindow, SchedStats};
 pub use sync::{LockError, LockInfo, LockRegistry};
 pub use thread::{OpRecord, Thread, ThreadState, ThreadStats};
-pub use types::{CoreId, Cycles, LockId, ObjectId, ThreadId};
+pub use types::{CoreId, Cycles, DenseObjectId, LockId, ObjectId, ThreadId};
 
 // Re-exported for convenience: policies receive these simulator types in
 // their callbacks.

@@ -1,0 +1,236 @@
+//! The object index: interns sparse object keys (addresses) into dense
+//! ids and stores the descriptor slab.
+//!
+//! Every `ct_start` consults this table, so it uses the same recipe as the
+//! simulator's flat coherence directory rather than `std::collections::HashMap`:
+//! open addressing over a power-of-two slot array, Fibonacci hashing, and
+//! linear probing, with all state inline in one allocation. Keys are never
+//! removed (an object, once seen, keeps its dense id for the lifetime of
+//! the engine), which keeps the table tombstone-free by construction.
+
+use crate::action::ObjectDescriptor;
+use crate::types::{DenseObjectId, ObjectId};
+
+/// Sentinel for an empty slot. Object keys are addresses, so `u64::MAX`
+/// is unreachable.
+const EMPTY: ObjectId = ObjectId::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: ObjectId,
+    dense: DenseObjectId,
+}
+
+const VACANT: Slot = Slot {
+    key: EMPTY,
+    dense: 0,
+};
+
+/// Interns object keys to dense ids and owns the descriptor slab.
+#[derive(Debug, Clone)]
+pub struct ObjectIndex {
+    slots: Box<[Slot]>,
+    mask: usize,
+    /// Descriptor per dense id; synthesized (zero-sized, key-addressed)
+    /// until the object is explicitly registered.
+    descs: Vec<ObjectDescriptor>,
+    /// Whether each dense id has been explicitly registered.
+    registered: Vec<bool>,
+}
+
+impl Default for ObjectIndex {
+    fn default() -> Self {
+        Self::with_capacity(256)
+    }
+}
+
+impl ObjectIndex {
+    /// Creates an index with at least `cap` slots (rounded up to a power
+    /// of two, minimum 8).
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.next_power_of_two().max(8);
+        Self {
+            slots: vec![VACANT; cap].into_boxed_slice(),
+            mask: cap - 1,
+            descs: Vec::new(),
+            registered: Vec::new(),
+        }
+    }
+
+    /// Number of distinct objects interned so far.
+    pub fn len(&self) -> usize {
+        self.descs.len()
+    }
+
+    /// Whether no object has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.descs.is_empty()
+    }
+
+    #[inline]
+    fn home(&self, key: ObjectId) -> usize {
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h >> 32) as usize & self.mask
+    }
+
+    /// Dense id of `key`, interning it (with a synthesized descriptor) on
+    /// first sight. Dense ids are assigned contiguously in first-touch
+    /// order, so they index straight into the slabs kept by policies.
+    #[inline]
+    pub fn intern(&mut self, key: ObjectId) -> DenseObjectId {
+        // A hard assert (not debug-only): `u64::MAX` is the vacant-slot
+        // sentinel, and letting it through would silently alias the key
+        // to whatever dense id sits in the first vacant slot probed.
+        assert_ne!(key, EMPTY, "object key u64::MAX is reserved");
+        if (self.descs.len() + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mut i = self.home(key);
+        loop {
+            let slot = self.slots[i];
+            if slot.key == key {
+                return slot.dense;
+            }
+            if slot.key == EMPTY {
+                let dense = self.descs.len() as DenseObjectId;
+                self.slots[i] = Slot { key, dense };
+                self.descs.push(ObjectDescriptor::new(key, key, 0));
+                self.registered.push(false);
+                return dense;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Dense id of `key` if it has been seen before.
+    #[inline]
+    pub fn get(&self, key: ObjectId) -> Option<DenseObjectId> {
+        if key == EMPTY {
+            // The sentinel would "match" any vacant slot.
+            return None;
+        }
+        let mut i = self.home(key);
+        loop {
+            let slot = self.slots[i];
+            if slot.key == key {
+                return Some(slot.dense);
+            }
+            if slot.key == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Interns `desc.id` and records the descriptor; returns the dense id.
+    pub fn register(&mut self, desc: ObjectDescriptor) -> DenseObjectId {
+        let dense = self.intern(desc.id);
+        self.descs[dense as usize] = desc;
+        self.registered[dense as usize] = true;
+        dense
+    }
+
+    /// The descriptor of a dense id (synthesized if never registered).
+    #[inline]
+    pub fn descriptor(&self, dense: DenseObjectId) -> &ObjectDescriptor {
+        &self.descs[dense as usize]
+    }
+
+    /// The external key of a dense id.
+    #[inline]
+    pub fn key_of(&self, dense: DenseObjectId) -> ObjectId {
+        self.descs[dense as usize].id
+    }
+
+    /// Whether a dense id was explicitly registered (rather than
+    /// auto-interned at `ct_start`).
+    pub fn is_registered(&self, dense: DenseObjectId) -> bool {
+        self.registered[dense as usize]
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![VACANT; new_cap].into_boxed_slice());
+        self.mask = new_cap - 1;
+        for slot in old.iter().filter(|s| s.key != EMPTY) {
+            let mut i = self.home(slot.key);
+            loop {
+                if self.slots[i].key == EMPTY {
+                    self.slots[i] = *slot;
+                    break;
+                }
+                i = (i + 1) & self.mask;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_assigns_dense_ids_in_first_touch_order() {
+        let mut idx = ObjectIndex::default();
+        assert_eq!(idx.intern(0x9000), 0);
+        assert_eq!(idx.intern(0x1000), 1);
+        assert_eq!(idx.intern(0x9000), 0, "stable on re-intern");
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.key_of(0), 0x9000);
+        assert_eq!(idx.key_of(1), 0x1000);
+        assert_eq!(idx.get(0x1000), Some(1));
+        assert_eq!(idx.get(0x2000), None);
+    }
+
+    #[test]
+    fn register_overwrites_the_synthesized_descriptor() {
+        let mut idx = ObjectIndex::default();
+        let d = idx.intern(0x5000);
+        assert!(!idx.is_registered(d));
+        assert_eq!(idx.descriptor(d).size, 0);
+        let d2 = idx.register(ObjectDescriptor::new(0x5000, 0x5000, 4096));
+        assert_eq!(d, d2, "registration keeps the interned dense id");
+        assert!(idx.is_registered(d));
+        assert_eq!(idx.descriptor(d).size, 4096);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut idx = ObjectIndex::with_capacity(8);
+        for key in 0..1000u64 {
+            assert_eq!(idx.intern(key * 64), key as DenseObjectId);
+        }
+        assert_eq!(idx.len(), 1000);
+        for key in 0..1000u64 {
+            assert_eq!(idx.get(key * 64), Some(key as DenseObjectId), "key {key}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn the_sentinel_key_is_rejected() {
+        ObjectIndex::default().intern(u64::MAX);
+    }
+
+    #[test]
+    fn get_of_the_sentinel_key_is_none() {
+        let mut idx = ObjectIndex::default();
+        idx.intern(1);
+        assert_eq!(idx.get(u64::MAX), None);
+    }
+
+    #[test]
+    fn colliding_keys_stay_distinct() {
+        // Keys a multiple of the initial capacity apart collide in the
+        // low bits; Fibonacci hashing plus probing must keep them apart.
+        let mut idx = ObjectIndex::with_capacity(8);
+        let keys: Vec<u64> = (1..=64u64).map(|i| i * 8).collect();
+        for &k in &keys {
+            idx.intern(k);
+        }
+        let mut seen: Vec<DenseObjectId> = keys.iter().map(|&k| idx.get(k).unwrap()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), keys.len());
+    }
+}

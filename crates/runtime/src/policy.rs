@@ -10,7 +10,7 @@
 //! comparison the paper makes.
 
 use crate::action::ObjectDescriptor;
-use crate::types::{CoreId, Cycles, ObjectId, ThreadId};
+use crate::types::{CoreId, Cycles, DenseObjectId, ObjectId, ThreadId};
 use o2_sim::{CounterDelta, Machine};
 
 /// Where an operation should execute.
@@ -31,8 +31,14 @@ pub struct OpContext<'a> {
     pub core: CoreId,
     /// The thread's home core.
     pub home_core: CoreId,
-    /// The object named by `ct_start`.
-    pub object: ObjectId,
+    /// The object named by `ct_start`, as a dense id assigned by the
+    /// engine's object index in first-touch order. Policies index their
+    /// tables directly with this.
+    pub object: DenseObjectId,
+    /// The external key (address) the operation named. Only needed for
+    /// reporting and for deterministic tie-breaking; the hot path uses
+    /// [`OpContext::object`].
+    pub object_key: ObjectId,
     /// The acting core's local clock.
     pub now: Cycles,
     /// Read-only view of the machine (configuration, counters, occupancy).
@@ -71,8 +77,11 @@ pub trait SchedPolicy {
     /// Human-readable policy name, used in reports.
     fn name(&self) -> &'static str;
 
-    /// Called when an object is registered with the runtime.
-    fn register_object(&mut self, _object: &ObjectDescriptor) {}
+    /// Called when an object is registered with the runtime. `id` is the
+    /// dense id the engine's object index assigned to `object.id`; it is
+    /// the same id later operations on the object carry in
+    /// [`OpContext::object`].
+    fn register_object(&mut self, _id: DenseObjectId, _object: &ObjectDescriptor) {}
 
     /// Called at `ct_start`; returns where the operation should run.
     fn on_ct_start(&mut self, _ctx: &OpContext<'_>) -> Placement {
@@ -137,7 +146,9 @@ impl SchedPolicy for StaticPolicy {
     }
 
     fn on_ct_start(&mut self, ctx: &OpContext<'_>) -> Placement {
-        match self.assignments.get(&ctx.object) {
+        // Static tables are keyed by the user-facing object key, so tests
+        // and ablations can set them up without knowing intern order.
+        match self.assignments.get(&ctx.object_key) {
             Some(&core) if core != ctx.core => Placement::On(core),
             _ => Placement::Local,
         }
@@ -158,7 +169,8 @@ mod tests {
             thread: 0,
             core,
             home_core: core,
-            object,
+            object: 0,
+            object_key: object,
             now: 0,
             machine,
         }

@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 
 use crate::action::Action;
 use crate::behaviour::ThreadBehaviour;
-use crate::types::{CoreId, Cycles, ObjectId, ThreadId};
+use crate::types::{CoreId, Cycles, DenseObjectId, ThreadId};
 use o2_sim::CoreCounters;
 
 /// Lifecycle state of a thread.
@@ -26,8 +26,9 @@ pub enum ThreadState {
 /// `ct_end`).
 #[derive(Debug, Clone, Copy)]
 pub struct OpRecord {
-    /// The object named at `ct_start`.
-    pub object: ObjectId,
+    /// The object named at `ct_start`, as a dense id from the engine's
+    /// object index.
+    pub object: DenseObjectId,
     /// The core the operation is executing on.
     pub exec_core: CoreId,
     /// Local clock of the executing core when the operation began.

@@ -6,11 +6,20 @@ pub type CoreId = u32;
 /// Identifies a runtime thread.
 pub type ThreadId = usize;
 
-/// Identifies a schedulable object.
+/// Identifies a schedulable object by name.
 ///
-/// As in the paper, an object is identified by an address: `ct_start` takes
+/// As in the paper, an object is named by an address: `ct_start` takes
 /// "one argument that specifies the address that identifies an object".
+/// Internally the runtime interns every key it sees into a
+/// [`DenseObjectId`]; the sparse key only appears at the API boundary
+/// (actions, descriptors) and in reports.
 pub type ObjectId = u64;
+
+/// Dense object identifier: an index into the runtime's object slab,
+/// assigned in first-touch order by [`crate::engine::Engine`]'s object
+/// index. Policies receive dense ids so their tables can be flat arrays
+/// instead of hash maps.
+pub type DenseObjectId = u32;
 
 /// Identifies a registered spin lock.
 pub type LockId = usize;

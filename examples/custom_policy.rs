@@ -23,9 +23,10 @@ impl SchedPolicy for HashPlacement {
     }
 
     fn on_ct_start(&mut self, ctx: &OpContext<'_>) -> Placement {
-        // A multiplicative hash keeps neighbouring directories apart.
-        let target =
-            ((ctx.object.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % u64::from(self.cores)) as u32;
+        // A multiplicative hash of the object's address keeps neighbouring
+        // directories apart.
+        let target = ((ctx.object_key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33)
+            % u64::from(self.cores)) as u32;
         if target == ctx.core {
             Placement::Local
         } else {

@@ -1,0 +1,513 @@
+//! Golden fingerprints of the CoreTime decision path.
+//!
+//! These tests drive `O2Policy` directly through the `SchedPolicy`
+//! interface with seeded synthetic operation storms and pin the policy's
+//! observable behaviour — every placement decision, the `O2Stats` counters
+//! after every epoch, and the final assignment table — to values captured
+//! from the implementation **before** the dense-id/flat-table refactor.
+//! Any change to a placement decision, a stats counter, or an assignment
+//! changes the fingerprint.
+//!
+//! The storms identify objects by external keys (addresses, as the paper
+//! does) and mirror the engine's interning: dense ids are assigned in
+//! first-touch order exactly as `Engine`'s object index does, so the same
+//! storm drives the pre- and post-refactor policy identically. Everything
+//! that enters the fingerprint (object keys, core ids, stats) is
+//! representation-independent.
+//!
+//! To re-capture after an *intentional* behaviour change:
+//! `O2_PRINT_FINGERPRINTS=1 cargo test --test policy_golden -- --nocapture`
+
+use o2_core::{CoreTimeConfig, O2Policy, O2Stats};
+use o2_runtime::{
+    DenseObjectId, EpochView, ObjectDescriptor, ObjectIndex, OpContext, Placement, SchedPolicy,
+};
+use o2_sim::{CounterDelta, Machine, MachineConfig};
+
+/// FNV-1a over little-endian u64 words.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Deterministic 64-bit LCG (constants from Knuth); top bits returned.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Drives one policy instance through a storm, mirroring the engine's
+/// `ct_start`/`ct_end`/epoch protocol and interning object keys in
+/// first-touch order the way `Engine` does.
+struct Storm {
+    machine: Machine,
+    policy: O2Policy,
+    keys: Vec<u64>,
+    index: ObjectIndex,
+    ops_by_core: Vec<u64>,
+    misses_by_core: Vec<u64>,
+    hash: Fnv,
+    epoch: u64,
+}
+
+impl Storm {
+    fn new(machine_cfg: MachineConfig, cfg: CoreTimeConfig) -> Self {
+        let machine = Machine::new(machine_cfg);
+        let policy = O2Policy::new(machine.config(), cfg);
+        let cores = machine.config().total_cores() as usize;
+        Storm {
+            machine,
+            policy,
+            keys: Vec::new(),
+            index: ObjectIndex::default(),
+            ops_by_core: vec![0; cores],
+            misses_by_core: vec![0; cores],
+            hash: Fnv::new(),
+            epoch: 0,
+        }
+    }
+
+    /// The engine's object index: dense ids in first-touch order.
+    fn intern(&mut self, key: u64) -> DenseObjectId {
+        let dense = self.index.intern(key);
+        if dense as usize == self.keys.len() {
+            self.keys.push(key);
+        }
+        dense
+    }
+
+    fn register(&mut self, key: u64, size: u64, read_mostly: bool) {
+        let dense = self.intern(key);
+        let desc = ObjectDescriptor::new(key, key, size).read_mostly(read_mostly);
+        self.policy.register_object(dense, &desc);
+    }
+
+    /// One annotated operation: `ct_start` (recording the placement
+    /// decision), then `ct_end` on the core the operation executed on.
+    fn op(&mut self, thread: usize, core: u32, key: u64, misses: u64) {
+        let dense = self.intern(key);
+        let start_ctx = OpContext {
+            thread,
+            core,
+            home_core: core,
+            object: dense,
+            object_key: key,
+            now: 0,
+            machine: &self.machine,
+        };
+        let placement = self.policy.on_ct_start(&start_ctx);
+        let exec_core = match placement {
+            Placement::Local => {
+                self.hash.u64(u64::MAX);
+                core
+            }
+            Placement::On(c) => {
+                self.hash.u64(u64::from(c));
+                c
+            }
+        };
+        let delta = CounterDelta {
+            l2_misses: misses,
+            busy_cycles: 2_000 + misses * 60,
+            dram_loads: misses / 3,
+            operations_completed: 1,
+            ..Default::default()
+        };
+        let end_ctx = OpContext {
+            thread,
+            core: exec_core,
+            home_core: core,
+            object: dense,
+            object_key: key,
+            now: 0,
+            machine: &self.machine,
+        };
+        self.policy.on_ct_end(&end_ctx, &delta);
+        self.ops_by_core[exec_core as usize] += 1;
+        self.misses_by_core[exec_core as usize] += misses;
+    }
+
+    /// Fires one policy epoch with per-core deltas synthesized from the
+    /// operations since the previous epoch: busy scales with work done,
+    /// the laggards get the difference as idle time, and DRAM loads follow
+    /// the misses — enough signal for the rebalancer, the pathology
+    /// detector and replication to act.
+    fn run_epoch(&mut self) {
+        let busy: Vec<u64> = self
+            .ops_by_core
+            .iter()
+            .zip(&self.misses_by_core)
+            .map(|(&o, &m)| o * 2_000 + m * 60)
+            .collect();
+        let frontier = busy.iter().copied().max().unwrap_or(0);
+        let deltas: Vec<CounterDelta> = (0..busy.len())
+            .map(|c| CounterDelta {
+                busy_cycles: busy[c],
+                idle_cycles: frontier - busy[c] + 1_000,
+                l2_misses: self.misses_by_core[c],
+                dram_loads: self.misses_by_core[c] / 3,
+                operations_completed: self.ops_by_core[c],
+                ..Default::default()
+            })
+            .collect();
+        self.fire_epoch(deltas);
+    }
+
+    /// Like [`Storm::run_epoch`], but with every core reporting a mid-range
+    /// idle fraction and no DRAM pressure: the rebalancer classifies every
+    /// core as `Normal` and stays quiet, so an operations-count imbalance
+    /// is handled by the pathology detector alone.
+    fn run_epoch_flat(&mut self) {
+        let deltas: Vec<CounterDelta> = (0..self.ops_by_core.len())
+            .map(|c| CounterDelta {
+                busy_cycles: self.ops_by_core[c] * 2_000 + 10_000,
+                idle_cycles: (self.ops_by_core[c] * 2_000 + 10_000) / 10,
+                l2_misses: self.misses_by_core[c],
+                operations_completed: self.ops_by_core[c],
+                ..Default::default()
+            })
+            .collect();
+        self.fire_epoch(deltas);
+    }
+
+    fn fire_epoch(&mut self, deltas: Vec<CounterDelta>) {
+        self.epoch += 1;
+        let view = EpochView {
+            now: self.epoch * 1_000_000,
+            machine: &self.machine,
+            deltas: &deltas,
+        };
+        let commands = self.policy.on_epoch(&view);
+        assert!(commands.is_empty(), "O2Policy issues no engine commands");
+        self.hash_stats();
+        self.ops_by_core.iter_mut().for_each(|o| *o = 0);
+        self.misses_by_core.iter_mut().for_each(|m| *m = 0);
+    }
+
+    fn hash_stats(&mut self) {
+        let s = self.policy.stats();
+        for v in [
+            s.assignments,
+            s.decays,
+            s.rebalance_moves,
+            s.pathology_moves,
+            s.replications,
+            s.replacement_evictions,
+            s.migrations_requested,
+            s.local_operations,
+            s.epochs,
+        ] {
+            self.hash.u64(v);
+        }
+    }
+
+    /// Folds the final assignment table into the fingerprint, in external
+    /// key order with sorted replica lists — independent of the table's
+    /// internal layout.
+    fn finish(mut self) -> (u64, O2Stats) {
+        self.hash_stats();
+        let mut keyed: Vec<(u64, DenseObjectId)> = self
+            .keys
+            .iter()
+            .enumerate()
+            .map(|(dense, &key)| (key, dense as DenseObjectId))
+            .collect();
+        keyed.sort_unstable();
+        for (key, dense) in keyed {
+            self.hash.u64(key);
+            let table = self.policy.table();
+            match table.primary(dense) {
+                Some(core) => self.hash.u64(u64::from(core)),
+                None => self.hash.u64(u64::MAX),
+            }
+            for r in table.replicas(dense).iter() {
+                self.hash.u64(u64::from(r));
+            }
+        }
+        for core in 0..self.machine.config().total_cores() {
+            self.hash.u64(self.policy.table().used_bytes(core));
+        }
+        (self.hash.0, self.policy.stats())
+    }
+}
+
+/// Storm 1 — migration-heavy: a modest working set that fits the amd16
+/// packing budget, hammered from every core. Exercises the `ct_start`
+/// lookup, assignment, rebalancing and pathology spreading.
+fn storm_migration_heavy() -> (u64, O2Stats) {
+    let mut s = Storm::new(MachineConfig::amd16(), CoreTimeConfig::default());
+    let keys: Vec<u64> = (0..48u64).map(|i| 0x10_0000 + i * 0x1_0000).collect();
+    for (i, &k) in keys.iter().enumerate() {
+        s.register(k, 32 * 1024 + (i as u64 % 5) * 8 * 1024, false);
+    }
+    let mut rng = Lcg(0x5eed_0001);
+    for i in 0..24_000u64 {
+        let r = rng.next();
+        let obj = if r % 10 < 7 {
+            keys[(r >> 8) as usize % 8]
+        } else {
+            keys[(r >> 8) as usize % keys.len()]
+        };
+        let core = ((r >> 16) % 16) as u32;
+        let thread = ((r >> 24) % 32) as usize;
+        let misses = 150 + (obj >> 16) % 180;
+        s.op(thread, core, obj, misses);
+        if (i + 1) % 3_000 == 0 {
+            s.run_epoch();
+        }
+    }
+    s.finish()
+}
+
+/// Storm 2 — epoch churn: far more expensive objects than the quad4
+/// budget holds, with the hot window shifting every epoch. Exercises
+/// placement failure, decay gating, frequency-based replacement and the
+/// registry's epoch accounting. Half the objects are never registered, so
+/// the estimated-size path is covered too.
+fn storm_epoch_churn() -> (u64, O2Stats) {
+    let mut cfg = CoreTimeConfig::default();
+    cfg.enable_decay = true;
+    cfg.enable_replacement = true;
+    cfg.decay_epochs = 2;
+    let mut s = Storm::new(MachineConfig::quad4(), cfg);
+    let keys: Vec<u64> = (0..160u64).map(|i| 0x200_0000 + i * 0x2_0000).collect();
+    for (i, &k) in keys.iter().enumerate() {
+        if i % 2 == 0 {
+            s.register(k, 64 * 1024 + (i as u64 % 7) * 16 * 1024, false);
+        }
+    }
+    // Four hot objects larger than any core's packing budget: they can
+    // never be placed (not even by replacement), so every epoch carries
+    // placement failures — the demand signal that opens the decay gate.
+    let whales: Vec<u64> = (0..4u64).map(|i| 0x800_0000 + i * 0x80_0000).collect();
+    for &w in &whales {
+        s.register(w, 2 * 1024 * 1024, false);
+    }
+    let mut rng = Lcg(0x5eed_0002);
+    for i in 0..20_000u64 {
+        let r = rng.next();
+        let epoch_phase = (i / 1_000) as usize;
+        let window = 24usize;
+        let base = (epoch_phase * 8) % keys.len();
+        let obj = if r % 16 == 0 {
+            whales[(r >> 8) as usize % whales.len()]
+        } else {
+            keys[(base + (r as usize % window)) % keys.len()]
+        };
+        let core = ((r >> 16) % 4) as u32;
+        let thread = ((r >> 24) % 8) as usize;
+        let misses = 900 + (obj >> 17) % 300;
+        s.op(thread, core, obj, misses);
+        if (i + 1) % 1_000 == 0 {
+            s.run_epoch();
+        }
+    }
+    s.finish()
+}
+
+/// Storm 4 — pathology spreading: a quad4 machine where two popular
+/// objects end up on the same core and the per-core counters otherwise
+/// look healthy, so only the operations-imbalance detector reacts.
+fn storm_pathology() -> (u64, O2Stats) {
+    let mut s = Storm::new(MachineConfig::quad4(), CoreTimeConfig::default());
+    let whales: Vec<u64> = (0..3u64).map(|i| 0x60_0000 + i * 0x10_0000).collect();
+    let hot: Vec<u64> = (0..2u64).map(|i| 0xA0_0000 + i * 0x10_0000).collect();
+    for &w in &whales {
+        s.register(w, 700 * 1024, false);
+    }
+    for &h in &hot {
+        s.register(h, 100 * 1024, false);
+    }
+    let mut rng = Lcg(0x5eed_0004);
+    // Warm-up: only the whales, so balanced placement parks one per core
+    // (cores 0..2). Both hot objects then land on the near-empty core 3 —
+    // a migration hot-spot in the making.
+    for i in 0..3_000u64 {
+        let r = rng.next();
+        let obj = whales[r as usize % whales.len()];
+        s.op(((r >> 24) % 8) as usize, ((r >> 16) % 4) as u32, obj, 220);
+        if (i + 1) % 1_000 == 0 {
+            s.run_epoch_flat();
+        }
+    }
+    // Hot phase: 85% of operations hammer the two co-located hot objects;
+    // only the pathology detector can split them apart.
+    for i in 0..6_000u64 {
+        let r = rng.next();
+        let obj = if r % 100 < 85 {
+            hot[r as usize % 2]
+        } else {
+            whales[(r >> 8) as usize % whales.len()]
+        };
+        s.op(((r >> 24) % 8) as usize, ((r >> 16) % 4) as u32, obj, 220);
+        if (i + 1) % 1_000 == 0 {
+            s.run_epoch_flat();
+        }
+    }
+    s.finish()
+}
+
+/// Storm 3 — clustering and replication: every Section-6.2 extension
+/// enabled, threads touching object pairs back-to-back, and a set of hot
+/// read-mostly objects that earn replicas.
+fn storm_clustering() -> (u64, O2Stats) {
+    let mut s = Storm::new(
+        MachineConfig::amd16(),
+        CoreTimeConfig::with_all_extensions(),
+    );
+    let keys: Vec<u64> = (0..40u64).map(|i| 0x40_0000 + i * 0x1_0000).collect();
+    for (i, &k) in keys.iter().enumerate() {
+        s.register(k, 24 * 1024 + (i as u64 % 3) * 8 * 1024, i % 4 == 0);
+    }
+    let mut rng = Lcg(0x5eed_0003);
+    for i in 0..20_000u64 {
+        let r = rng.next();
+        let pair = ((r >> 4) as usize % (keys.len() / 2)) * 2;
+        let core = ((r >> 16) % 16) as u32;
+        let thread = ((r >> 24) % 16) as usize;
+        // The same thread touches both halves of the pair consecutively,
+        // which is exactly the co-access signal the tracker counts.
+        let misses = 200 + (pair as u64 * 11) % 150;
+        s.op(thread, core, keys[pair], misses);
+        s.op(thread, core, keys[pair + 1], misses / 2);
+        if (i + 1) % 2_500 == 0 {
+            s.run_epoch();
+        }
+    }
+    s.finish()
+}
+
+/// Expected `(fingerprint, O2Stats)` per storm, captured from the
+/// pre-refactor implementation (HashMap assignment table, HashMap
+/// registry, HashMap co-access tracker) with the deterministic tie-breaks
+/// applied. The refactored decision path must reproduce these bit-for-bit.
+struct Golden {
+    name: &'static str,
+    run: fn() -> (u64, O2Stats),
+    fingerprint: u64,
+    stats: O2Stats,
+}
+
+const CAPTURE_ENV: &str = "O2_PRINT_FINGERPRINTS";
+
+fn goldens() -> Vec<Golden> {
+    vec![
+        Golden {
+            name: "migration_heavy",
+            run: storm_migration_heavy,
+            fingerprint: 0x565758ebb474b36c,
+            stats: O2Stats {
+                assignments: 48,
+                decays: 0,
+                rebalance_moves: 12,
+                pathology_moves: 0,
+                replications: 0,
+                replacement_evictions: 0,
+                migrations_requested: 22415,
+                local_operations: 1585,
+                epochs: 8,
+            },
+        },
+        Golden {
+            name: "epoch_churn",
+            run: storm_epoch_churn,
+            fingerprint: 0xcaf9bdc96293c61c,
+            stats: O2Stats {
+                assignments: 193,
+                decays: 136,
+                rebalance_moves: 59,
+                pathology_moves: 0,
+                replications: 0,
+                replacement_evictions: 25,
+                migrations_requested: 13610,
+                local_operations: 6390,
+                epochs: 20,
+            },
+        },
+        Golden {
+            name: "clustering",
+            run: storm_clustering,
+            fingerprint: 0x4bab7baaf57db132,
+            stats: O2Stats {
+                assignments: 40,
+                decays: 0,
+                rebalance_moves: 9,
+                pathology_moves: 0,
+                replications: 38,
+                replacement_evictions: 0,
+                migrations_requested: 36484,
+                local_operations: 3516,
+                epochs: 8,
+            },
+        },
+        Golden {
+            name: "pathology",
+            run: storm_pathology,
+            fingerprint: 0xe8ab112ad3a3ecb9,
+            stats: O2Stats {
+                assignments: 5,
+                decays: 0,
+                rebalance_moves: 0,
+                pathology_moves: 1,
+                replications: 0,
+                replacement_evictions: 0,
+                migrations_requested: 6733,
+                local_operations: 2267,
+                epochs: 9,
+            },
+        },
+    ]
+}
+
+#[test]
+fn storms_reproduce_the_prerefactor_fingerprints() {
+    let capture = std::env::var(CAPTURE_ENV)
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    for g in goldens() {
+        let (fp, stats) = (g.run)();
+        if capture {
+            println!("{}: fingerprint = {:#018x}", g.name, fp);
+            println!("{}: stats = {:?}", g.name, stats);
+            continue;
+        }
+        assert_eq!(
+            fp, g.fingerprint,
+            "{}: decision-path fingerprint diverged from the pre-refactor capture",
+            g.name
+        );
+        assert_eq!(
+            stats, g.stats,
+            "{}: O2Stats diverged from the pre-refactor capture",
+            g.name
+        );
+    }
+}
+
+#[test]
+fn storms_are_deterministic_within_a_build() {
+    // The fingerprint is a pure function of the seed: two runs in the same
+    // process must agree (this is what satellite-1's tie-break fixes
+    // guarantee — before them, HashMap iteration order leaked into decay
+    // and move planning).
+    for g in goldens() {
+        assert_eq!((g.run)().0, (g.run)().0, "{} not deterministic", g.name);
+    }
+}

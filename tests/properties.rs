@@ -28,7 +28,7 @@ fn packing_respects_budgets() {
         let n_cores = rng.gen_range(1usize..16);
         let items: Vec<PackItem> = (0..n_items)
             .map(|i| PackItem {
-                object: i as u64,
+                object: i as u32,
                 size: rng.gen_range(1u64..200_000),
                 expense: rng.gen::<f64>() * 1e6,
             })
@@ -56,7 +56,7 @@ fn assignment_table_accounting_is_conserved() {
         let mut table = AssignmentTable::new(vec![100_000; 4]);
         let mut sizes = std::collections::HashMap::new();
         for _ in 0..rng.gen_range(1usize..200) {
-            let obj = rng.gen_range(0u64..32);
+            let obj = rng.gen_range(0u32..32);
             let size = rng.gen_range(1u64..5000);
             let core = rng.gen_range(0u32..4);
             match rng.gen_range(0u8..3) {
@@ -65,8 +65,8 @@ fn assignment_table_accounting_is_conserved() {
                     let _ = table.assign(obj, size, core);
                 }
                 1 => {
-                    if let Some(&size) = sizes.get(&obj) {
-                        let _ = table.unassign(obj, size);
+                    if sizes.contains_key(&obj) {
+                        let _ = table.unassign(obj);
                     }
                 }
                 _ => {
