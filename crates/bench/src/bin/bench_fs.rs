@@ -1,0 +1,353 @@
+//! Host-side throughput of the fs volume's bookkeeping → `BENCH_fs.json`.
+//!
+//! Drives `Volume` directly (no engine, no memory simulation) so the
+//! numbers isolate exactly the host-side cost the flat-name-index rebuild
+//! targeted: resolving names and churning metadata. The *modeled* lookup
+//! cost — the per-entry compare cycles the simulated machine pays — is
+//! part of the paper's cost model and is untouched by this refactor;
+//! this benchmark measures only what the host pays to keep the books.
+//! Two seeded scenarios:
+//!
+//! * `lookup_heavy` — the paper's volume shape (directories of 1,000
+//!   entries), hammered with name resolutions. Baseline: the linear image
+//!   scan (`Volume::search_linear`) that resolution used before the flat
+//!   index, i.e. O(entries) byte compares per lookup.
+//! * `metadata_churn` — `fsmeta`'s shape (many small directories),
+//!   hammered with create / unlink / rename. Baseline: the same logical
+//!   churn against a linear directory model (scan a `Vec` of slots for
+//!   the name / the free slot), the pre-refactor bookkeeping idiom.
+//!
+//! Both variants are measured in the same process on the same host;
+//! treat the committed `BENCH_fs.json` as the artifact.
+
+use std::time::Instant;
+
+use o2_fs::{split_8_3, synthetic_name, Volume, VolumeGeometry};
+
+/// Deterministic 64-bit LCG (constants from Knuth); top bits returned.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+struct Outcome {
+    name: &'static str,
+    operations: u64,
+    wall_seconds: f64,
+    baseline_wall_seconds: f64,
+}
+
+impl Outcome {
+    fn ops_per_sec(&self) -> f64 {
+        self.operations as f64 / self.wall_seconds
+    }
+
+    fn baseline_ops_per_sec(&self) -> f64 {
+        self.operations as f64 / self.baseline_wall_seconds
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"scenario\": \"{}\",\n",
+                "      \"operations\": {},\n",
+                "      \"wall_seconds\": {:.6},\n",
+                "      \"ops_per_wall_second\": {:.0},\n",
+                "      \"baseline_ops_per_wall_second\": {:.0},\n",
+                "      \"speedup_vs_baseline\": {:.2}\n",
+                "    }}"
+            ),
+            self.name,
+            self.operations,
+            self.wall_seconds,
+            self.ops_per_sec(),
+            self.baseline_ops_per_sec(),
+            self.ops_per_sec() / self.baseline_ops_per_sec(),
+        )
+    }
+
+    fn print(&self) {
+        println!(
+            "{:<16} {:>9} ops: {:>12.0}/s flat vs {:>12.0}/s linear ({:.1}x)",
+            self.name,
+            self.operations,
+            self.ops_per_sec(),
+            self.baseline_ops_per_sec(),
+            self.ops_per_sec() / self.baseline_ops_per_sec(),
+        );
+    }
+}
+
+/// The paper's volume shape, resolution-only: the flat name index vs. the
+/// linear image scan it replaced. A black-box accumulator keeps the
+/// optimizer honest.
+fn lookup_heavy(iters: u64) -> Outcome {
+    const DIRS: u32 = 16;
+    const ENTRIES: u32 = 1000;
+    let volume = Volume::build_benchmark(DIRS, ENTRIES).expect("benchmark volume");
+    let targets: Vec<(u32, String)> = {
+        let mut rng = Lcg(0xF5_0001);
+        (0..4096)
+            .map(|_| {
+                let dir = (rng.next() % u64::from(DIRS)) as u32;
+                let entry = (rng.next() % u64::from(ENTRIES)) as u32;
+                (dir, synthetic_name(entry))
+            })
+            .collect()
+    };
+
+    let mut acc = 0u64;
+    let start = Instant::now();
+    for i in 0..iters {
+        let (dir, name) = &targets[(i as usize) & 4095];
+        let (slot, _) = volume.search(*dir, name).expect("dir").expect("hit");
+        acc = acc.wrapping_add(u64::from(slot));
+    }
+    let wall_seconds = start.elapsed().as_secs_f64().max(1e-9);
+
+    // Baseline: the same resolutions through the linear scan. Far fewer
+    // iterations (it is ~ENTRIES/2 times slower); normalised by count.
+    let base_iters = (iters / 256).max(1);
+    let start = Instant::now();
+    for i in 0..base_iters {
+        let (dir, name) = &targets[(i as usize) & 4095];
+        let (slot, _) = volume.search_linear(*dir, name).expect("dir").expect("hit");
+        acc = acc.wrapping_add(u64::from(slot));
+    }
+    // Scaled to the wall time the full `iters` would have taken.
+    let baseline_wall_seconds =
+        start.elapsed().as_secs_f64().max(1e-9) * (iters as f64 / base_iters as f64);
+
+    std::hint::black_box(acc);
+    Outcome {
+        name: "lookup_heavy",
+        operations: iters,
+        wall_seconds,
+        baseline_wall_seconds,
+    }
+}
+
+/// The pre-refactor bookkeeping idiom: one directory's entries in a
+/// `Vec`, every question answered by a linear scan.
+struct LinearDir {
+    slots: Vec<Option<[u8; 11]>>,
+}
+
+impl LinearDir {
+    fn new(live: u32, capacity: u32) -> Self {
+        let mut slots = vec![None; capacity as usize];
+        for (i, slot) in slots.iter_mut().enumerate().take(live as usize) {
+            *slot = Some(pack_name(&synthetic_name(i as u32)));
+        }
+        Self { slots }
+    }
+
+    fn find(&self, name: &[u8; 11]) -> Option<u32> {
+        self.slots
+            .iter()
+            .position(|s| s.as_ref() == Some(name))
+            .map(|i| i as u32)
+    }
+
+    fn create(&mut self, name: [u8; 11]) -> Option<u32> {
+        if self.find(&name).is_some() {
+            return None;
+        }
+        let free = self.slots.iter().position(|s| s.is_none())?;
+        self.slots[free] = Some(name);
+        Some(free as u32)
+    }
+
+    fn unlink(&mut self, name: &[u8; 11]) -> Option<u32> {
+        let slot = self.find(name)?;
+        self.slots[slot as usize] = None;
+        Some(slot)
+    }
+
+    fn rename(&mut self, old: &[u8; 11], new: [u8; 11]) -> Option<u32> {
+        if self.find(&new).is_some() {
+            return None;
+        }
+        let slot = self.find(old)?;
+        self.slots[slot as usize] = Some(new);
+        Some(slot)
+    }
+}
+
+fn pack_name(name: &str) -> [u8; 11] {
+    let (n, e) = split_8_3(name);
+    let mut out = [0u8; 11];
+    out[..8].copy_from_slice(&n);
+    out[8..].copy_from_slice(&e);
+    out
+}
+
+/// `fsmeta`'s shape, churn-only: create / unlink / rename through the
+/// flat index vs. the linear model. Both sides replay the identical
+/// seeded op sequence.
+fn metadata_churn(iters: u64) -> Outcome {
+    const DIRS: u32 = 64;
+    const CAPACITY: u32 = 64;
+    const LIVE: u32 = 32;
+
+    // The shared deterministic op tape: (dir, roll, victim-pick).
+    let tape: Vec<(u32, u32, u32)> = {
+        let mut rng = Lcg(0xF5_0002);
+        (0..iters)
+            .map(|_| {
+                let r = rng.next();
+                (
+                    (r % u64::from(DIRS)) as u32,
+                    ((r >> 8) % 100) as u32,
+                    (r >> 16) as u32,
+                )
+            })
+            .collect()
+    };
+
+    // Flat side: a real Volume, fsmeta-shaped.
+    let mut geometry = VolumeGeometry::default();
+    geometry.data_clusters = geometry.data_clusters.max(DIRS * 2 + 8);
+    let mut volume = Volume::new(geometry);
+    for _ in 0..DIRS {
+        volume
+            .create_directory_with_capacity(LIVE, CAPACITY)
+            .expect("churn volume");
+    }
+    let mut live: Vec<Vec<u32>> = (0..DIRS).map(|_| (0..LIVE).collect()).collect();
+    let mut next: Vec<u32> = vec![LIVE; DIRS as usize];
+    let mut ops = 0u64;
+    let start = Instant::now();
+    for &(dir, roll, pick) in &tape {
+        let d = dir as usize;
+        let n = live[d].len() as u32;
+        let choice = if n == 0 {
+            0
+        } else if n == CAPACITY {
+            45
+        } else {
+            roll
+        };
+        match choice {
+            0..=44 => {
+                let serial = next[d];
+                next[d] += 1;
+                volume
+                    .create_entry(dir, &synthetic_name(serial), 64)
+                    .expect("create");
+                live[d].push(serial);
+            }
+            45..=79 => {
+                let serial = live[d].swap_remove((pick % n) as usize);
+                volume.unlink(dir, &synthetic_name(serial)).expect("unlink");
+            }
+            _ => {
+                let at = (pick % n) as usize;
+                let (old, new) = (live[d][at], next[d]);
+                next[d] += 1;
+                volume
+                    .rename(dir, &synthetic_name(old), &synthetic_name(new))
+                    .expect("rename");
+                live[d][at] = new;
+            }
+        }
+        ops += 1;
+    }
+    let wall_seconds = start.elapsed().as_secs_f64().max(1e-9);
+
+    // Linear side: identical tape against the scan-everything model.
+    let mut dirs: Vec<LinearDir> = (0..DIRS).map(|_| LinearDir::new(LIVE, CAPACITY)).collect();
+    let mut live: Vec<Vec<u32>> = (0..DIRS).map(|_| (0..LIVE).collect()).collect();
+    let mut next: Vec<u32> = vec![LIVE; DIRS as usize];
+    let start = Instant::now();
+    for &(dir, roll, pick) in &tape {
+        let d = dir as usize;
+        let n = live[d].len() as u32;
+        let choice = if n == 0 {
+            0
+        } else if n == CAPACITY {
+            45
+        } else {
+            roll
+        };
+        match choice {
+            0..=44 => {
+                let serial = next[d];
+                next[d] += 1;
+                dirs[d]
+                    .create(pack_name(&synthetic_name(serial)))
+                    .expect("create");
+                live[d].push(serial);
+            }
+            45..=79 => {
+                let serial = live[d].swap_remove((pick % n) as usize);
+                dirs[d]
+                    .unlink(&pack_name(&synthetic_name(serial)))
+                    .expect("unlink");
+            }
+            _ => {
+                let at = (pick % n) as usize;
+                let (old, new) = (live[d][at], next[d]);
+                next[d] += 1;
+                dirs[d]
+                    .rename(
+                        &pack_name(&synthetic_name(old)),
+                        pack_name(&synthetic_name(new)),
+                    )
+                    .expect("rename");
+                live[d][at] = new;
+            }
+        }
+    }
+    let baseline_wall_seconds = start.elapsed().as_secs_f64().max(1e-9);
+
+    // Cross-check: both models must agree on the final occupancy.
+    for dir in 0..DIRS {
+        let flat = volume.live_entries(dir).expect("dir");
+        let linear = dirs[dir as usize]
+            .slots
+            .iter()
+            .filter(|s| s.is_some())
+            .count() as u32;
+        assert_eq!(flat, linear, "models diverged in dir {dir}");
+    }
+
+    Outcome {
+        name: "metadata_churn",
+        operations: ops,
+        wall_seconds,
+        baseline_wall_seconds,
+    }
+}
+
+fn main() {
+    let outcomes = [lookup_heavy(2_000_000), metadata_churn(2_000_000)];
+    for o in &outcomes {
+        o.print();
+    }
+    let body = outcomes
+        .iter()
+        .map(Outcome::json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"fs_host_bookkeeping\",\n",
+            "  \"model\": \"per-directory flat name index (o2-collections FlatTable) vs linear scans\",\n",
+            "  \"scenarios\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        body
+    );
+    std::fs::write("BENCH_fs.json", &json).expect("write BENCH_fs.json");
+    println!("wrote BENCH_fs.json");
+}

@@ -10,158 +10,26 @@
 //! clustered, and the placement logic prefers putting a new object on the
 //! core that already holds one of its cluster partners.
 //!
-//! `record` runs on every `ct_start`, so the tracker follows the flat
-//! recipe of the simulator's coherence directory: the per-thread
-//! last-object memory is a plain slab, and the pair counts live in an
-//! open-addressed table keyed by the two dense ids packed into one `u64`
-//! (power-of-two capacity, Fibonacci hashing, linear probing,
-//! backward-shift deletion) — no `HashMap`, no per-entry heap nodes.
+//! `record` runs on every `ct_start`, so the tracker keeps its state flat:
+//! the per-thread last-object memory is a plain slab, and the pair counts
+//! live in an [`o2_collections::FlatTable`] keyed by the two dense ids
+//! packed into one `u64` (power-of-two capacity, Fibonacci hashing, linear
+//! probing, backward-shift deletion on decay) — no `HashMap`, no
+//! per-entry heap nodes.
 
+use o2_collections::FlatTable;
 use o2_runtime::{DenseObjectId, ObjectId, ThreadId};
-
-/// Sentinel for an empty pair slot: dense ids are `u32`, so a packed key
-/// of `u64::MAX` (both halves `u32::MAX`) never collides with a real pair.
-const EMPTY: u64 = u64::MAX;
 
 /// Sentinel for "thread has no previous object".
 const NO_OBJECT: DenseObjectId = DenseObjectId::MAX;
 
+/// Packs an unordered pair of dense ids into one table key. Dense ids are
+/// `u32`, so a packed key of `u64::MAX` (both halves `u32::MAX`) never
+/// collides with the table's vacant-slot sentinel.
 #[inline]
 fn pack(a: DenseObjectId, b: DenseObjectId) -> u64 {
     let (lo, hi) = if a < b { (a, b) } else { (b, a) };
     (u64::from(lo) << 32) | u64::from(hi)
-}
-
-#[derive(Debug, Clone, Copy)]
-struct PairSlot {
-    key: u64,
-    count: u64,
-}
-
-const VACANT: PairSlot = PairSlot {
-    key: EMPTY,
-    count: 0,
-};
-
-/// Open-addressed `(object, object) → count` table.
-#[derive(Debug, Clone)]
-struct PairTable {
-    slots: Box<[PairSlot]>,
-    mask: usize,
-    len: usize,
-}
-
-impl PairTable {
-    fn with_capacity(cap: usize) -> Self {
-        let cap = cap.next_power_of_two().max(8);
-        Self {
-            slots: vec![VACANT; cap].into_boxed_slice(),
-            mask: cap - 1,
-            len: 0,
-        }
-    }
-
-    #[inline]
-    fn home(&self, key: u64) -> usize {
-        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        (h >> 32) as usize & self.mask
-    }
-
-    #[inline]
-    fn increment(&mut self, key: u64) {
-        if (self.len + 1) * 8 > self.slots.len() * 7 {
-            self.grow();
-        }
-        let mut i = self.home(key);
-        loop {
-            let slot = self.slots[i];
-            if slot.key == key {
-                self.slots[i].count += 1;
-                return;
-            }
-            if slot.key == EMPTY {
-                self.slots[i] = PairSlot { key, count: 1 };
-                self.len += 1;
-                return;
-            }
-            i = (i + 1) & self.mask;
-        }
-    }
-
-    #[inline]
-    fn get(&self, key: u64) -> u64 {
-        let mut i = self.home(key);
-        loop {
-            let slot = self.slots[i];
-            if slot.key == key {
-                return slot.count;
-            }
-            if slot.key == EMPTY {
-                return 0;
-            }
-            i = (i + 1) & self.mask;
-        }
-    }
-
-    /// Backward-shift removal, as in the flat coherence directory.
-    fn remove(&mut self, key: u64) {
-        let mut hole = {
-            let mut i = self.home(key);
-            loop {
-                let slot = self.slots[i];
-                if slot.key == key {
-                    break i;
-                }
-                if slot.key == EMPTY {
-                    return;
-                }
-                i = (i + 1) & self.mask;
-            }
-        };
-        self.len -= 1;
-        let mut i = hole;
-        loop {
-            i = (i + 1) & self.mask;
-            let k = self.slots[i].key;
-            if k == EMPTY {
-                break;
-            }
-            let h = self.home(k);
-            let on_path = if h <= i {
-                h <= hole && hole < i
-            } else {
-                hole >= h || hole < i
-            };
-            if on_path {
-                self.slots[hole] = self.slots[i];
-                hole = i;
-            }
-        }
-        self.slots[hole] = VACANT;
-    }
-
-    fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.slots
-            .iter()
-            .filter(|s| s.key != EMPTY)
-            .map(|s| (s.key, s.count))
-    }
-
-    fn grow(&mut self) {
-        let new_cap = self.slots.len() * 2;
-        let old = std::mem::replace(&mut self.slots, vec![VACANT; new_cap].into_boxed_slice());
-        self.mask = new_cap - 1;
-        for slot in old.iter().filter(|s| s.key != EMPTY) {
-            let mut i = self.home(slot.key);
-            loop {
-                if self.slots[i].key == EMPTY {
-                    self.slots[i] = *slot;
-                    break;
-                }
-                i = (i + 1) & self.mask;
-            }
-        }
-    }
 }
 
 /// Tracks which objects are used together.
@@ -170,7 +38,7 @@ pub struct CoAccessTracker {
     /// Last object each thread operated on, indexed by thread id.
     last_by_thread: Vec<DenseObjectId>,
     /// Co-access counts per unordered object pair.
-    pairs: PairTable,
+    pairs: FlatTable<u64, u64>,
     /// Scratch for decay's two-pass halve-then-remove.
     doomed: Vec<u64>,
 }
@@ -186,7 +54,7 @@ impl CoAccessTracker {
     pub fn new() -> Self {
         Self {
             last_by_thread: Vec::new(),
-            pairs: PairTable::with_capacity(64),
+            pairs: FlatTable::with_capacity(64),
             doomed: Vec::new(),
         }
     }
@@ -199,14 +67,14 @@ impl CoAccessTracker {
         }
         let prev = self.last_by_thread[thread];
         if prev != NO_OBJECT && prev != object {
-            self.pairs.increment(pack(prev, object));
+            *self.pairs.entry(pack(prev, object)) += 1;
         }
         self.last_by_thread[thread] = object;
     }
 
     /// Co-access count of a pair.
     pub fn pair_count(&self, a: DenseObjectId, b: DenseObjectId) -> u64 {
-        self.pairs.get(pack(a, b))
+        self.pairs.peek(pack(a, b)).copied().unwrap_or(0)
     }
 
     /// Objects co-accessed with `object` at least `threshold` times,
@@ -222,6 +90,7 @@ impl CoAccessTracker {
         let mut partners: Vec<(u64, ObjectId, DenseObjectId)> = self
             .pairs
             .iter()
+            .map(|(key, &count)| (key, count))
             .filter(|&(_, count)| count >= threshold)
             .filter_map(|(key, count)| {
                 let lo = (key >> 32) as DenseObjectId;
@@ -242,20 +111,17 @@ impl CoAccessTracker {
 
     /// Number of distinct pairs observed.
     pub fn pairs_observed(&self) -> usize {
-        self.pairs.len
+        self.pairs.len()
     }
 
     /// Ages the counts (halving them), so stale partnerships fade. Called
     /// once per epoch.
     pub fn decay(&mut self) {
         self.doomed.clear();
-        for i in 0..self.pairs.slots.len() {
-            let slot = &mut self.pairs.slots[i];
-            if slot.key != EMPTY {
-                slot.count /= 2;
-                if slot.count == 0 {
-                    self.doomed.push(slot.key);
-                }
+        for (key, count) in self.pairs.iter_mut() {
+            *count /= 2;
+            if *count == 0 {
+                self.doomed.push(key);
             }
         }
         for i in 0..self.doomed.len() {

@@ -5,6 +5,8 @@
 //! uses 32 bytes of memory." This module implements the classic 32-byte
 //! FAT directory entry with 8.3 names.
 
+use o2_collections::{FlatKey, FIB_MULT};
+
 /// Size of one directory entry in bytes.
 pub const DIRENT_SIZE: usize = 32;
 
@@ -107,6 +109,48 @@ impl DirEntry {
     }
 }
 
+/// An 8.3 name as a flat-table key: the 11 canonical bytes (space-padded,
+/// upper-cased name then extension, the exact bytes stored in a
+/// [`DirEntry`]), so two names are equal exactly when [`DirEntry::matches`]
+/// would say so. The vacant-slot sentinel is all `0xFF` bytes, which can
+/// never appear in a canonicalised name (they are ASCII or spaces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NameKey([u8; 11]);
+
+impl NameKey {
+    /// Canonicalises a `NAME.EXT` style string into a key.
+    pub fn new(name: &str) -> Self {
+        let (n, e) = split_8_3(name);
+        let mut bytes = [0u8; 11];
+        bytes[..8].copy_from_slice(&n);
+        bytes[8..].copy_from_slice(&e);
+        Self(bytes)
+    }
+}
+
+impl FlatKey for NameKey {
+    const EMPTY: Self = NameKey([0xFF; 11]);
+
+    /// FNV-1a over the 11 name bytes, finished with the shared Fibonacci
+    /// multiply so the high bits (which the table indexes by) are mixed.
+    fn hash(self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.0 {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        h.wrapping_mul(FIB_MULT)
+    }
+}
+
+impl From<&DirEntry> for NameKey {
+    fn from(e: &DirEntry) -> Self {
+        let mut bytes = [0u8; 11];
+        bytes[..8].copy_from_slice(&e.name);
+        bytes[8..].copy_from_slice(&e.ext);
+        Self(bytes)
+    }
+}
+
 /// Splits a `NAME.EXT` string into space-padded, upper-cased 8.3 fields,
 /// truncating over-long components.
 pub fn split_8_3(name: &str) -> ([u8; 8], [u8; 3]) {
@@ -178,6 +222,17 @@ mod tests {
         assert!(e.matches("FILE.DAT"));
         assert!(e.matches("file.dat"));
         assert!(!e.matches("OTHER.DAT"));
+    }
+
+    #[test]
+    fn name_keys_match_entry_equivalence() {
+        // Two spellings that `matches` treats as equal map to one key.
+        assert_eq!(NameKey::new("file.dat"), NameKey::new("FILE.DAT"));
+        assert_ne!(NameKey::new("FILE.DAT"), NameKey::new("OTHER.DAT"));
+        let e = DirEntry::file("File.Dat", 0, 0);
+        assert_eq!(NameKey::from(&e), NameKey::new("FILE.DAT"));
+        // The sentinel never equals a real name.
+        assert_ne!(NameKey::new("FILE.DAT"), NameKey::EMPTY);
     }
 
     #[test]

@@ -30,9 +30,11 @@ pub mod fat;
 pub mod lookup;
 pub mod volume;
 
-pub use dirent::{split_8_3, synthetic_name, DirEntry, ATTR_ARCHIVE, ATTR_DIRECTORY, DIRENT_SIZE};
+pub use dirent::{
+    split_8_3, synthetic_name, DirEntry, NameKey, ATTR_ARCHIVE, ATTR_DIRECTORY, DIRENT_SIZE,
+};
 pub use fat::{Fat, FatError, FAT_EOC, FAT_FREE, FIRST_DATA_CLUSTER};
 pub use lookup::{
     directory_descriptor, lookup_actions, lookup_actions_unannotated, resolve, LookupCost, LookupOp,
 };
-pub use volume::{DirectoryHandle, Volume, VolumeError, VolumeGeometry};
+pub use volume::{DirId, DirectoryHandle, Volume, VolumeError, VolumeGeometry, DELETED_MARKER};

@@ -6,11 +6,36 @@
 //! byte-for-byte FAT-style volume held in memory, whose directories can be
 //! mapped into the simulated physical address space so that searches
 //! generate cache traffic on the simulated machine.
+//!
+//! ## Host-side bookkeeping vs. modeled cost
+//!
+//! Directory *contents* are resolved two ways, and the distinction
+//! matters. The **modeled** cost of a lookup — the per-entry compare
+//! cycles the simulated machine pays in `lookup.rs`, exactly the paper's
+//! Figure-3 inner loop — is untouched. The **host-side** bookkeeping
+//! (which entry does this name live in? is this name taken? which slot is
+//! free?) used to be the same linear scan run natively; it now goes
+//! through a per-directory flat name index (an
+//! [`o2_collections::FlatTable`] from canonical 8.3 [`NameKey`]s to entry
+//! slots), so create / rename / unlink churn probes and backward-shifts a
+//! flat table instead of rescanning the image. Directories themselves are
+//! identified by dense [`DirId`]s — creation-order indices into one
+//! handle slab. The old linear scan survives as
+//! [`Volume::search_linear`], kept as an executable specification and as
+//! the baseline for `bench_fs`.
 
+use o2_collections::FlatTable;
 use o2_sim::{Addr, SimMemory};
 
-use crate::dirent::{synthetic_name, DirEntry, DIRENT_SIZE};
+use crate::dirent::{split_8_3, synthetic_name, DirEntry, NameKey, DIRENT_SIZE};
 use crate::fat::{Fat, FatError};
+
+/// Dense directory identifier: the creation-order index of the directory
+/// in its volume's handle slab.
+pub type DirId = u32;
+
+/// FAT's deleted-entry marker: the first name byte of an unlinked entry.
+pub const DELETED_MARKER: u8 = 0xE5;
 
 /// Geometry of the volume.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,15 +58,15 @@ impl Default for VolumeGeometry {
 /// A directory created on the volume.
 #[derive(Debug, Clone)]
 pub struct DirectoryHandle {
-    /// Index of the directory (0-based creation order).
-    pub index: u32,
+    /// Dense id of the directory (0-based creation order).
+    pub index: DirId,
     /// First cluster of the directory's entry data.
     pub first_cluster: u16,
-    /// Number of 32-byte entries.
+    /// Number of 32-byte entry slots (live entries plus free slots).
     pub entry_count: u32,
     /// Offset of the directory's first byte within the volume image.
     pub image_offset: usize,
-    /// Bytes occupied by the directory's entries.
+    /// Bytes occupied by the directory's entry slots.
     pub byte_len: usize,
     /// Simulated address of the directory data (set by
     /// [`Volume::map_into`]; zero until then).
@@ -65,18 +90,45 @@ impl DirectoryHandle {
     }
 }
 
-/// Errors from volume construction and lookups.
+/// Errors from volume construction, lookups and metadata operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VolumeError {
     /// The FAT ran out of clusters.
     Fat(FatError),
     /// A directory index was out of range.
     NoSuchDirectory,
+    /// An entry with the same (canonicalised 8.3) name already exists in
+    /// the directory.
+    DuplicateName,
+    /// The named entry does not exist in the directory.
+    NoSuchEntry,
+    /// The directory has no free entry slot left.
+    DirectoryFull,
 }
 
 impl From<FatError> for VolumeError {
     fn from(e: FatError) -> Self {
         VolumeError::Fat(e)
+    }
+}
+
+/// Host-side bookkeeping of one directory: the flat name index plus the
+/// free-slot pool.
+#[derive(Debug, Clone, Default)]
+struct DirIndex {
+    /// Canonical 8.3 name → entry slot.
+    names: FlatTable<NameKey, u32>,
+    /// Free entry slots, kept sorted descending so `pop()` yields the
+    /// lowest slot — first-fit, exactly where a linear scan for a free
+    /// entry would land.
+    free: Vec<u32>,
+}
+
+impl DirIndex {
+    /// Returns a free slot to the pool, keeping it sorted descending.
+    fn release_slot(&mut self, slot: u32) {
+        let at = self.free.partition_point(|&s| s > slot);
+        self.free.insert(at, slot);
     }
 }
 
@@ -88,6 +140,8 @@ pub struct Volume {
     /// The data area (cluster 2 starts at offset 0).
     image: Vec<u8>,
     directories: Vec<DirectoryHandle>,
+    /// Host-side per-directory bookkeeping, parallel to `directories`.
+    indices: Vec<DirIndex>,
 }
 
 impl Volume {
@@ -99,6 +153,7 @@ impl Volume {
             fat: Fat::new(clusters),
             image: vec![0u8; geometry.data_clusters as usize * geometry.bytes_per_cluster as usize],
             directories: Vec::new(),
+            indices: Vec::new(),
         }
     }
 
@@ -130,8 +185,8 @@ impl Volume {
         &self.directories
     }
 
-    /// A directory by index.
-    pub fn directory(&self, index: u32) -> Result<&DirectoryHandle, VolumeError> {
+    /// A directory by dense id.
+    pub fn directory(&self, index: DirId) -> Result<&DirectoryHandle, VolumeError> {
         self.directories
             .get(index as usize)
             .ok_or(VolumeError::NoSuchDirectory)
@@ -143,9 +198,23 @@ impl Volume {
     }
 
     /// Creates a directory populated with `files` synthetic entries and
-    /// returns its index.
-    pub fn create_directory(&mut self, files: u32) -> Result<u32, VolumeError> {
-        let bytes = files as usize * DIRENT_SIZE;
+    /// returns its dense id. Every slot is live; use
+    /// [`Volume::create_directory_with_capacity`] for churn workloads
+    /// that need headroom.
+    pub fn create_directory(&mut self, files: u32) -> Result<DirId, VolumeError> {
+        self.create_directory_with_capacity(files, files)
+    }
+
+    /// Creates a directory with `capacity` entry slots of which the first
+    /// `live` hold synthetic entries; the rest are free for
+    /// [`Volume::create_entry`]. Returns the dense id.
+    pub fn create_directory_with_capacity(
+        &mut self,
+        live: u32,
+        capacity: u32,
+    ) -> Result<DirId, VolumeError> {
+        let live = live.min(capacity);
+        let bytes = capacity as usize * DIRENT_SIZE;
         let clusters = bytes
             .div_ceil(self.geometry.bytes_per_cluster as usize)
             .max(1);
@@ -159,27 +228,34 @@ impl Volume {
         for (i, w) in chain.windows(2).enumerate() {
             debug_assert_eq!(w[1], w[0] + 1, "cluster chain not contiguous at {i}");
         }
-        for i in 0..files {
-            let entry = DirEntry::file(&synthetic_name(i), first_cluster, 64);
+        let mut index = DirIndex {
+            names: FlatTable::with_capacity(capacity as usize * 8 / 7 + 1),
+            free: (live..capacity).rev().collect(),
+        };
+        for i in 0..live {
+            let name = synthetic_name(i);
+            let entry = DirEntry::file(&name, first_cluster, 64);
             let off = image_offset + i as usize * DIRENT_SIZE;
             self.image[off..off + DIRENT_SIZE].copy_from_slice(&entry.encode());
+            index.names.insert(NameKey::new(&name), i);
         }
 
-        let index = self.directories.len() as u32;
+        let id = self.directories.len() as DirId;
         self.directories.push(DirectoryHandle {
-            index,
+            index: id,
             first_cluster,
-            entry_count: files,
+            entry_count: capacity,
             image_offset,
             byte_len: bytes,
             sim_addr: 0,
             lock_addr: 0,
         });
-        Ok(index)
+        self.indices.push(index);
+        Ok(id)
     }
 
     /// Reads entry `i` of directory `dir` from the image.
-    pub fn read_entry(&self, dir: u32, i: u32) -> Result<DirEntry, VolumeError> {
+    pub fn read_entry(&self, dir: DirId, i: u32) -> Result<DirEntry, VolumeError> {
         let d = self.directory(dir)?;
         if i >= d.entry_count {
             return Err(VolumeError::NoSuchDirectory);
@@ -188,10 +264,113 @@ impl Volume {
         Ok(DirEntry::decode(&self.image[off..off + DIRENT_SIZE]).expect("entry in bounds"))
     }
 
+    /// Entry slot holding `name` in directory `dir`, resolved through the
+    /// flat name index (host-side, O(1) expected).
+    pub fn find_entry(&self, dir: DirId, name: &str) -> Result<Option<u32>, VolumeError> {
+        let index = self
+            .indices
+            .get(dir as usize)
+            .ok_or(VolumeError::NoSuchDirectory)?;
+        Ok(index.names.peek(NameKey::new(name)).copied())
+    }
+
+    /// Live entries (slots holding a name) in directory `dir`.
+    pub fn live_entries(&self, dir: DirId) -> Result<u32, VolumeError> {
+        self.indices
+            .get(dir as usize)
+            .map(|i| i.names.len() as u32)
+            .ok_or(VolumeError::NoSuchDirectory)
+    }
+
+    /// Free entry slots left in directory `dir`.
+    pub fn free_slots(&self, dir: DirId) -> Result<u32, VolumeError> {
+        self.indices
+            .get(dir as usize)
+            .map(|i| i.free.len() as u32)
+            .ok_or(VolumeError::NoSuchDirectory)
+    }
+
+    /// Creates a file entry named `name` in directory `dir`, taking the
+    /// lowest free slot (first-fit, as a linear scan would). Errors with
+    /// [`VolumeError::DuplicateName`] if the (canonicalised) name already
+    /// exists and [`VolumeError::DirectoryFull`] if no slot is free.
+    pub fn create_entry(&mut self, dir: DirId, name: &str, size: u32) -> Result<u32, VolumeError> {
+        let d = self.directory(dir)?;
+        let (image_offset, first_cluster) = (d.image_offset, d.first_cluster);
+        let key = NameKey::new(name);
+        let index = &mut self.indices[dir as usize];
+        if index.names.peek(key).is_some() {
+            return Err(VolumeError::DuplicateName);
+        }
+        let slot = index.free.pop().ok_or(VolumeError::DirectoryFull)?;
+        index.names.insert(key, slot);
+        let entry = DirEntry::file(name, first_cluster, size);
+        let off = image_offset + slot as usize * DIRENT_SIZE;
+        self.image[off..off + DIRENT_SIZE].copy_from_slice(&entry.encode());
+        Ok(slot)
+    }
+
+    /// Removes the entry named `name` from directory `dir`, marking its
+    /// slot with the FAT deleted marker (`0xE5`) and returning the slot to
+    /// the free pool. Errors with [`VolumeError::NoSuchEntry`] if the name
+    /// is not present.
+    pub fn unlink(&mut self, dir: DirId, name: &str) -> Result<u32, VolumeError> {
+        let d = self.directory(dir)?;
+        let image_offset = d.image_offset;
+        let index = &mut self.indices[dir as usize];
+        let slot = index
+            .names
+            .remove(NameKey::new(name))
+            .ok_or(VolumeError::NoSuchEntry)?;
+        index.release_slot(slot);
+        self.image[image_offset + slot as usize * DIRENT_SIZE] = DELETED_MARKER;
+        Ok(slot)
+    }
+
+    /// Renames the entry `old` in directory `dir` to `new`, in place (the
+    /// entry keeps its slot, cluster and size). Errors with
+    /// [`VolumeError::NoSuchEntry`] if `old` is absent and
+    /// [`VolumeError::DuplicateName`] if `new` is taken by *another*
+    /// entry; renaming to a canonically equal name is a no-op success,
+    /// as on a real FAT volume.
+    pub fn rename(&mut self, dir: DirId, old: &str, new: &str) -> Result<u32, VolumeError> {
+        let d = self.directory(dir)?;
+        let image_offset = d.image_offset;
+        let (old_key, new_key) = (NameKey::new(old), NameKey::new(new));
+        let index = &mut self.indices[dir as usize];
+        let Some(&slot) = index.names.peek(old_key) else {
+            return Err(VolumeError::NoSuchEntry);
+        };
+        if old_key == new_key {
+            // Canonically the same name: the stored bytes already match.
+            return Ok(slot);
+        }
+        if index.names.peek(new_key).is_some() {
+            return Err(VolumeError::DuplicateName);
+        }
+        let slot = index.names.remove(old_key).expect("checked above");
+        index.names.insert(new_key, slot);
+        let (n, e) = split_8_3(new);
+        let off = image_offset + slot as usize * DIRENT_SIZE;
+        self.image[off..off + 8].copy_from_slice(&n);
+        self.image[off + 8..off + 11].copy_from_slice(&e);
+        Ok(slot)
+    }
+
+    /// Search of directory `dir` for `name`: the entry slot and the number
+    /// of entries the benchmark's inner loop would examine to find it
+    /// (slot + 1 — the modeled cost charged by `lookup.rs` is unchanged).
+    /// Host-side the resolution goes through the flat name index;
+    /// [`Volume::search_linear`] is the scan it replaced.
+    pub fn search(&self, dir: DirId, name: &str) -> Result<Option<(u32, u32)>, VolumeError> {
+        Ok(self.find_entry(dir, name)?.map(|i| (i, i + 1)))
+    }
+
     /// Linear search of directory `dir` for `name`, exactly like the
-    /// benchmark's inner loop. Returns the entry index and the number of
-    /// entries examined.
-    pub fn search(&self, dir: u32, name: &str) -> Result<Option<(u32, u32)>, VolumeError> {
+    /// benchmark's inner loop: kept as the executable specification of
+    /// [`Volume::search`] and as the pre-refactor baseline for
+    /// `bench_fs`.
+    pub fn search_linear(&self, dir: DirId, name: &str) -> Result<Option<(u32, u32)>, VolumeError> {
         let d = self.directory(dir)?;
         for i in 0..d.entry_count {
             let e = self.read_entry(dir, i)?;
@@ -260,6 +439,27 @@ mod tests {
     }
 
     #[test]
+    fn search_agrees_with_the_linear_scan_it_replaced() {
+        let mut v = Volume::build_benchmark(2, 200).unwrap();
+        for i in (0..200).step_by(3) {
+            v.unlink(0, &synthetic_name(i)).unwrap();
+        }
+        v.create_entry(0, "FRESH.TXT", 64).unwrap();
+        v.rename(0, &synthetic_name(7), "MOVED.TXT").unwrap();
+        let names: Vec<String> = (0..200)
+            .map(synthetic_name)
+            .chain(["FRESH.TXT".into(), "MOVED.TXT".into(), "NOPE.TXT".into()])
+            .collect();
+        for name in &names {
+            assert_eq!(
+                v.search(0, name).unwrap(),
+                v.search_linear(0, name).unwrap(),
+                "index and linear scan diverge on {name}"
+            );
+        }
+    }
+
+    #[test]
     fn directories_occupy_disjoint_image_ranges() {
         let v = Volume::build_benchmark(4, 1000).unwrap();
         let dirs = v.directories();
@@ -314,5 +514,106 @@ mod tests {
             v.create_directory(400),
             Err(VolumeError::Fat(FatError::OutOfSpace))
         ));
+    }
+
+    #[test]
+    fn capacity_directories_start_with_free_slots() {
+        let mut v = Volume::new(VolumeGeometry::default());
+        let d = v.create_directory_with_capacity(3, 8).unwrap();
+        assert_eq!(v.live_entries(d).unwrap(), 3);
+        assert_eq!(v.free_slots(d).unwrap(), 5);
+        assert_eq!(v.directory(d).unwrap().entry_count, 8);
+        // First-fit: the next create takes the lowest free slot.
+        assert_eq!(v.create_entry(d, "NEW.DAT", 64).unwrap(), 3);
+        assert_eq!(v.find_entry(d, "NEW.DAT").unwrap(), Some(3));
+    }
+
+    #[test]
+    fn duplicate_name_create_is_rejected() {
+        let mut v = Volume::new(VolumeGeometry::default());
+        let d = v.create_directory_with_capacity(2, 8).unwrap();
+        // Synthetic entry 0 exists; creating it again (in any case
+        // spelling) is a duplicate, and the volume is unchanged.
+        assert_eq!(
+            v.create_entry(d, &synthetic_name(0), 64),
+            Err(VolumeError::DuplicateName)
+        );
+        assert_eq!(
+            v.create_entry(d, "f0000000.dat", 64),
+            Err(VolumeError::DuplicateName)
+        );
+        assert_eq!(v.live_entries(d).unwrap(), 2);
+        assert_eq!(v.free_slots(d).unwrap(), 6);
+        // A fresh name still works, then immediately collides.
+        v.create_entry(d, "A.TXT", 64).unwrap();
+        assert_eq!(
+            v.create_entry(d, "A.TXT", 64),
+            Err(VolumeError::DuplicateName)
+        );
+    }
+
+    #[test]
+    fn unlink_of_missing_entry_is_rejected() {
+        let mut v = Volume::new(VolumeGeometry::default());
+        let d = v.create_directory_with_capacity(2, 4).unwrap();
+        assert_eq!(v.unlink(d, "GHOST.TXT"), Err(VolumeError::NoSuchEntry));
+        // Unlinking twice: the first succeeds, the second is missing.
+        let slot = v.unlink(d, &synthetic_name(1)).unwrap();
+        assert_eq!(slot, 1);
+        assert_eq!(
+            v.unlink(d, &synthetic_name(1)),
+            Err(VolumeError::NoSuchEntry)
+        );
+        assert_eq!(v.live_entries(d).unwrap(), 1);
+        // The freed slot carries the FAT deleted marker in the image.
+        let off = v.directory(d).unwrap().image_offset + DIRENT_SIZE;
+        assert_eq!(v.image[off], DELETED_MARKER);
+        // Out-of-range directories error the same way as elsewhere.
+        assert_eq!(v.unlink(99, "X.TXT"), Err(VolumeError::NoSuchDirectory));
+    }
+
+    #[test]
+    fn unlinked_slots_are_reused_first_fit() {
+        let mut v = Volume::new(VolumeGeometry::default());
+        let d = v.create_directory(6).unwrap();
+        assert_eq!(
+            v.create_entry(d, "FULL.TXT", 1),
+            Err(VolumeError::DirectoryFull)
+        );
+        v.unlink(d, &synthetic_name(4)).unwrap();
+        v.unlink(d, &synthetic_name(2)).unwrap();
+        // Lowest freed slot first, regardless of unlink order.
+        assert_eq!(v.create_entry(d, "A.TXT", 1).unwrap(), 2);
+        assert_eq!(v.create_entry(d, "B.TXT", 1).unwrap(), 4);
+        assert_eq!(
+            v.create_entry(d, "C.TXT", 1),
+            Err(VolumeError::DirectoryFull)
+        );
+    }
+
+    #[test]
+    fn rename_moves_the_name_but_keeps_the_slot() {
+        let mut v = Volume::new(VolumeGeometry::default());
+        let d = v.create_directory(4).unwrap();
+        let slot = v.rename(d, &synthetic_name(2), "NEW.DAT").unwrap();
+        assert_eq!(slot, 2);
+        assert_eq!(v.find_entry(d, "NEW.DAT").unwrap(), Some(2));
+        assert_eq!(v.find_entry(d, &synthetic_name(2)).unwrap(), None);
+        let e = v.read_entry(d, 2).unwrap();
+        assert_eq!(e.display_name(), "NEW.DAT");
+        assert_eq!(e.size, 64, "rename keeps the entry payload");
+        // Error paths: missing source, taken destination.
+        assert_eq!(
+            v.rename(d, "GHOST.TXT", "X.TXT"),
+            Err(VolumeError::NoSuchEntry)
+        );
+        assert_eq!(
+            v.rename(d, &synthetic_name(1), "NEW.DAT"),
+            Err(VolumeError::DuplicateName)
+        );
+        // Rename to a canonically equal name is a no-op success.
+        assert_eq!(v.rename(d, "NEW.DAT", "new.dat"), Ok(2));
+        assert_eq!(v.find_entry(d, "NEW.DAT").unwrap(), Some(2));
+        assert_eq!(v.live_entries(d).unwrap(), 4);
     }
 }

@@ -1,12 +1,16 @@
 //! The object index: interns sparse object keys (addresses) into dense
 //! ids and stores the descriptor slab.
 //!
-//! Every `ct_start` consults this table, so it uses the same recipe as the
-//! simulator's flat coherence directory rather than `std::collections::HashMap`:
-//! open addressing over a power-of-two slot array, Fibonacci hashing, and
-//! linear probing, with all state inline in one allocation. Keys are never
-//! removed (an object, once seen, keeps its dense id for the lifetime of
-//! the engine), which keeps the table tombstone-free by construction.
+//! Every `ct_start` consults this table, so it runs on the workspace's
+//! shared flat recipe rather than `std::collections::HashMap`: an
+//! [`o2_collections::Interner`] (open addressing over a power-of-two slot
+//! array, Fibonacci hashing, linear probing, all state inline in one
+//! allocation) paired with [`o2_collections::Slab`]s for the per-id
+//! payloads. Keys are never removed (an object, once seen, keeps its
+//! dense id for the lifetime of the engine), which keeps the table
+//! tombstone-free by construction.
+
+use o2_collections::{Interner, Slab};
 
 use crate::action::ObjectDescriptor;
 use crate::types::{DenseObjectId, ObjectId};
@@ -15,27 +19,15 @@ use crate::types::{DenseObjectId, ObjectId};
 /// is unreachable.
 const EMPTY: ObjectId = ObjectId::MAX;
 
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    key: ObjectId,
-    dense: DenseObjectId,
-}
-
-const VACANT: Slot = Slot {
-    key: EMPTY,
-    dense: 0,
-};
-
 /// Interns object keys to dense ids and owns the descriptor slab.
 #[derive(Debug, Clone)]
 pub struct ObjectIndex {
-    slots: Box<[Slot]>,
-    mask: usize,
+    interner: Interner,
     /// Descriptor per dense id; synthesized (zero-sized, key-addressed)
     /// until the object is explicitly registered.
-    descs: Vec<ObjectDescriptor>,
+    descs: Slab<ObjectDescriptor>,
     /// Whether each dense id has been explicitly registered.
-    registered: Vec<bool>,
+    registered: Slab<bool>,
 }
 
 impl Default for ObjectIndex {
@@ -48,12 +40,10 @@ impl ObjectIndex {
     /// Creates an index with at least `cap` slots (rounded up to a power
     /// of two, minimum 8).
     pub fn with_capacity(cap: usize) -> Self {
-        let cap = cap.next_power_of_two().max(8);
         Self {
-            slots: vec![VACANT; cap].into_boxed_slice(),
-            mask: cap - 1,
-            descs: Vec::new(),
-            registered: Vec::new(),
+            interner: Interner::with_capacity(cap),
+            descs: Slab::new(),
+            registered: Slab::new(),
         }
     }
 
@@ -67,12 +57,6 @@ impl ObjectIndex {
         self.descs.is_empty()
     }
 
-    #[inline]
-    fn home(&self, key: ObjectId) -> usize {
-        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        (h >> 32) as usize & self.mask
-    }
-
     /// Dense id of `key`, interning it (with a synthesized descriptor) on
     /// first sight. Dense ids are assigned contiguously in first-touch
     /// order, so they index straight into the slabs kept by policies.
@@ -82,86 +66,44 @@ impl ObjectIndex {
         // sentinel, and letting it through would silently alias the key
         // to whatever dense id sits in the first vacant slot probed.
         assert_ne!(key, EMPTY, "object key u64::MAX is reserved");
-        if (self.descs.len() + 1) * 8 > self.slots.len() * 7 {
-            self.grow();
+        let (dense, new) = self.interner.intern(key);
+        if new {
+            self.descs.push(ObjectDescriptor::new(key, key, 0));
+            self.registered.push(false);
         }
-        let mut i = self.home(key);
-        loop {
-            let slot = self.slots[i];
-            if slot.key == key {
-                return slot.dense;
-            }
-            if slot.key == EMPTY {
-                let dense = self.descs.len() as DenseObjectId;
-                self.slots[i] = Slot { key, dense };
-                self.descs.push(ObjectDescriptor::new(key, key, 0));
-                self.registered.push(false);
-                return dense;
-            }
-            i = (i + 1) & self.mask;
-        }
+        dense
     }
 
     /// Dense id of `key` if it has been seen before.
     #[inline]
     pub fn get(&self, key: ObjectId) -> Option<DenseObjectId> {
-        if key == EMPTY {
-            // The sentinel would "match" any vacant slot.
-            return None;
-        }
-        let mut i = self.home(key);
-        loop {
-            let slot = self.slots[i];
-            if slot.key == key {
-                return Some(slot.dense);
-            }
-            if slot.key == EMPTY {
-                return None;
-            }
-            i = (i + 1) & self.mask;
-        }
+        self.interner.get(key)
     }
 
     /// Interns `desc.id` and records the descriptor; returns the dense id.
     pub fn register(&mut self, desc: ObjectDescriptor) -> DenseObjectId {
         let dense = self.intern(desc.id);
-        self.descs[dense as usize] = desc;
-        self.registered[dense as usize] = true;
+        self.descs[dense] = desc;
+        self.registered[dense] = true;
         dense
     }
 
     /// The descriptor of a dense id (synthesized if never registered).
     #[inline]
     pub fn descriptor(&self, dense: DenseObjectId) -> &ObjectDescriptor {
-        &self.descs[dense as usize]
+        &self.descs[dense]
     }
 
     /// The external key of a dense id.
     #[inline]
     pub fn key_of(&self, dense: DenseObjectId) -> ObjectId {
-        self.descs[dense as usize].id
+        self.descs[dense].id
     }
 
     /// Whether a dense id was explicitly registered (rather than
     /// auto-interned at `ct_start`).
     pub fn is_registered(&self, dense: DenseObjectId) -> bool {
-        self.registered[dense as usize]
-    }
-
-    fn grow(&mut self) {
-        let new_cap = self.slots.len() * 2;
-        let old = std::mem::replace(&mut self.slots, vec![VACANT; new_cap].into_boxed_slice());
-        self.mask = new_cap - 1;
-        for slot in old.iter().filter(|s| s.key != EMPTY) {
-            let mut i = self.home(slot.key);
-            loop {
-                if self.slots[i].key == EMPTY {
-                    self.slots[i] = *slot;
-                    break;
-                }
-                i = (i + 1) & self.mask;
-            }
-        }
+        self.registered[dense]
     }
 }
 

@@ -2,23 +2,19 @@
 //! [`LineAddr`] to [`LineHolders`].
 //!
 //! Every simulated cache miss and every write consults the directory, so it
-//! sits squarely on the memory-system hot path. The previous implementation
-//! was a `std::collections::HashMap` — SipHash on every probe, a heap node
-//! per entry, and pointer chasing on every lookup. This table instead keeps
-//! `(line, holders)` pairs inline in one flat allocation:
-//!
-//! * **Power-of-two capacity, mask indexing.** The slot of a line is
-//!   `fibonacci_hash(line) & (capacity - 1)`; collisions probe linearly,
-//!   which is sequential in memory.
-//! * **Tombstone-free deletion.** Removal backward-shifts the following
-//!   cluster instead of leaving tombstones, so probe chains never grow from
-//!   churn — important because lines enter and leave the directory with
-//!   every eviction.
-//! * **Inline values.** A slot is 24 bytes (`line`, `cores`, `chips`);
-//!   a probe touches at most a cache line or two.
+//! sits squarely on the memory-system hot path. The table is an
+//! [`o2_collections::FlatTable`] — the workspace's shared open-addressed
+//! recipe (power-of-two capacity, Fibonacci hashing, linear probing,
+//! tombstone-free backward-shift deletion, inline slots), which this
+//! directory originally hand-rolled before the recipe was extracted.
+//! Deletion matters here because lines enter and leave the directory with
+//! every eviction; backward-shifting keeps probe chains from growing under
+//! that churn.
 //!
 //! The table counts its probes (slot inspections) so
 //! `Machine::mem_stats()` can report directory pressure.
+
+use o2_collections::FlatTable;
 
 use crate::cache::LineAddr;
 
@@ -46,28 +42,12 @@ impl LineHolders {
     }
 }
 
-/// Sentinel for an empty slot. Real line addresses are byte addresses
-/// divided by the line size, so `u64::MAX` is unreachable.
-const EMPTY: LineAddr = LineAddr::MAX;
-
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    line: LineAddr,
-    holders: LineHolders,
-}
-
-const VACANT: Slot = Slot {
-    line: EMPTY,
-    holders: LineHolders { cores: 0, chips: 0 },
-};
-
-/// Open-addressed `LineAddr → LineHolders` table (see module docs).
+/// Open-addressed `LineAddr → LineHolders` table (see module docs). Real
+/// line addresses are byte addresses divided by the line size, so the
+/// table's `u64::MAX` vacant-slot sentinel is unreachable.
 #[derive(Debug, Clone)]
 pub struct FlatDirectory {
-    slots: Box<[Slot]>,
-    mask: usize,
-    len: usize,
-    probes: u64,
+    table: FlatTable<LineAddr, LineHolders>,
 }
 
 impl Default for FlatDirectory {
@@ -80,177 +60,71 @@ impl FlatDirectory {
     /// Creates a table with at least `cap` slots (rounded up to a power of
     /// two, minimum 8).
     pub fn with_capacity(cap: usize) -> Self {
-        let cap = cap.next_power_of_two().max(8);
         Self {
-            slots: vec![VACANT; cap].into_boxed_slice(),
-            mask: cap - 1,
-            len: 0,
-            probes: 0,
+            table: FlatTable::with_capacity(cap),
         }
     }
 
     /// Number of lines currently tracked.
     pub fn len(&self) -> usize {
-        self.len
+        self.table.len()
     }
 
     /// Whether the directory tracks no lines at all.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.table.is_empty()
     }
 
     /// Allocated slots (power of two).
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.table.capacity()
     }
 
     /// Cumulative slot inspections across all operations.
     pub fn probes(&self) -> u64 {
-        self.probes
-    }
-
-    #[inline]
-    fn home(&self, line: LineAddr) -> usize {
-        // Fibonacci hashing: one multiply, then keep the high bits that
-        // the mask would otherwise discard.
-        let h = line.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        (h >> 32) as usize & self.mask
-    }
-
-    /// Index of the slot holding `line`, if present.
-    #[inline]
-    fn find(&mut self, line: LineAddr) -> Option<usize> {
-        let mut i = self.home(line);
-        loop {
-            self.probes += 1;
-            let l = self.slots[i].line;
-            if l == line {
-                return Some(i);
-            }
-            if l == EMPTY {
-                return None;
-            }
-            i = (i + 1) & self.mask;
-        }
+        self.table.probes()
     }
 
     /// The holders of a line, copied, or `None` if untracked.
     #[inline]
     pub fn get(&mut self, line: LineAddr) -> Option<LineHolders> {
-        self.find(line).map(|i| self.slots[i].holders)
+        self.table.get(line).copied()
     }
 
     /// Like [`FlatDirectory::get`] but without counting probes: for
     /// diagnostics and assertions that must not skew
     /// [`FlatDirectory::probes`].
     pub fn peek(&self, line: LineAddr) -> Option<LineHolders> {
-        let mut i = self.home(line);
-        loop {
-            let l = self.slots[i].line;
-            if l == line {
-                return Some(self.slots[i].holders);
-            }
-            if l == EMPTY {
-                return None;
-            }
-            i = (i + 1) & self.mask;
-        }
+        self.table.peek(line).copied()
     }
 
     /// Mutable access to the holders of a line, if tracked.
     #[inline]
     pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut LineHolders> {
-        self.find(line).map(move |i| &mut self.slots[i].holders)
+        self.table.get_mut(line)
     }
 
     /// Mutable access to the holders of a line, inserting an empty entry if
     /// the line is untracked (the equivalent of `entry(..).or_default()`).
     #[inline]
     pub fn entry(&mut self, line: LineAddr) -> &mut LineHolders {
-        // Grow at 7/8 load so probe chains stay short.
-        if (self.len + 1) * 8 > self.capacity() * 7 {
-            self.grow();
-        }
-        let mut i = self.home(line);
-        loop {
-            self.probes += 1;
-            let l = self.slots[i].line;
-            if l == line {
-                return &mut self.slots[i].holders;
-            }
-            if l == EMPTY {
-                self.slots[i] = Slot {
-                    line,
-                    holders: LineHolders::default(),
-                };
-                self.len += 1;
-                return &mut self.slots[i].holders;
-            }
-            i = (i + 1) & self.mask;
-        }
+        self.table.entry(line)
     }
 
     /// Removes a line, returning its holders if it was tracked. Deletion
     /// backward-shifts the following cluster — no tombstones.
     pub fn remove(&mut self, line: LineAddr) -> Option<LineHolders> {
-        let mut hole = self.find(line)?;
-        let removed = self.slots[hole].holders;
-        self.len -= 1;
-        let mut i = hole;
-        loop {
-            i = (i + 1) & self.mask;
-            self.probes += 1;
-            let l = self.slots[i].line;
-            if l == EMPTY {
-                break;
-            }
-            // The entry at `i` may move into the hole only if the hole lies
-            // on its probe path, i.e. cyclically within [home(l), i).
-            let h = self.home(l);
-            let on_path = if h <= i {
-                h <= hole && hole < i
-            } else {
-                hole >= h || hole < i
-            };
-            if on_path {
-                self.slots[hole] = self.slots[i];
-                hole = i;
-            }
-        }
-        self.slots[hole] = VACANT;
-        Some(removed)
+        self.table.remove(line)
     }
 
     /// Drops every entry (capacity is retained).
     pub fn clear(&mut self) {
-        self.slots.fill(VACANT);
-        self.len = 0;
+        self.table.clear();
     }
 
     /// Iterates over every tracked `(line, holders)` pair in slot order.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, LineHolders)> + '_ {
-        self.slots
-            .iter()
-            .filter(|s| s.line != EMPTY)
-            .map(|s| (s.line, s.holders))
-    }
-
-    fn grow(&mut self) {
-        let new_cap = self.capacity() * 2;
-        let old = std::mem::replace(&mut self.slots, vec![VACANT; new_cap].into_boxed_slice());
-        self.mask = new_cap - 1;
-        for slot in old.iter().filter(|s| s.line != EMPTY) {
-            // Plain reinsertion; the table is known not to contain the key.
-            let mut i = self.home(slot.line);
-            loop {
-                self.probes += 1;
-                if self.slots[i].line == EMPTY {
-                    self.slots[i] = *slot;
-                    break;
-                }
-                i = (i + 1) & self.mask;
-            }
-        }
+        self.table.iter().map(|(line, &holders)| (line, holders))
     }
 }
 

@@ -12,6 +12,9 @@
 //!   inside `ct_start`/`ct_end`;
 //! * [`webserver`] — multi-component path resolution, the workload the
 //!   paper's introduction motivates;
+//! * [`fsmeta`] — file-metadata churn (create / rename / unlink across
+//!   many small directories), exercising the volume's flat name index
+//!   and its deletion paths end-to-end;
 //! * [`experiment`] — builds machine + volume + engine + threads for a
 //!   spec and a policy, runs warm-up and a measurement window, and reports
 //!   throughput in the paper's units (thousands of resolutions per second).
@@ -35,11 +38,13 @@
 pub mod behaviour;
 pub mod distribution;
 pub mod experiment;
+pub mod fsmeta;
 pub mod spec;
 pub mod webserver;
 
 pub use behaviour::{DirectoryLookupGen, DirectorySet};
 pub use distribution::DirChooser;
 pub use experiment::{run_once, Experiment, Measurement};
+pub use fsmeta::{FsMetaExperiment, FsMetaGen, FsMetaSpec, FsMetaStats};
 pub use spec::{Popularity, WorkloadSpec};
 pub use webserver::PathLookupGen;

@@ -3,6 +3,8 @@
 //! Re-exports every crate of the workspace so that examples, integration
 //! tests and downstream users can depend on a single crate:
 //!
+//! * [`collections`] — the shared flat-table primitives (open-addressed
+//!   `FlatTable`, dense-id `Interner`, `Slab`),
 //! * [`sim`] — the multicore cache-hierarchy simulator (the "AMD machine"),
 //! * [`runtime`] — the cooperative runtime with operation migration,
 //! * [`coretime`] — the O2 scheduler itself (the paper's contribution),
@@ -18,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub use o2_baseline as baseline;
+pub use o2_collections as collections;
 pub use o2_core as coretime;
 pub use o2_fs as fs;
 pub use o2_metrics as metrics;
