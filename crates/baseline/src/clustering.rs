@@ -131,10 +131,18 @@ impl SchedPolicy for ThreadClustering {
                 placement.insert(thread, core);
             }
         }
-        let commands: Vec<PolicyCommand> = placement
+        // Emit in thread order: HashMap iteration order is randomized per
+        // process, and the engine applies rehomings in command order, so
+        // an unsorted emission makes the whole run nondeterministic.
+        let mut changes: Vec<(ThreadId, CoreId)> = placement
             .iter()
             .filter(|(t, c)| self.last_placement.get(*t) != Some(*c))
-            .map(|(&thread, &core)| PolicyCommand::RehomeThread { thread, core })
+            .map(|(&thread, &core)| (thread, core))
+            .collect();
+        changes.sort_unstable();
+        let commands: Vec<PolicyCommand> = changes
+            .into_iter()
+            .map(|(thread, core)| PolicyCommand::RehomeThread { thread, core })
             .collect();
         if !commands.is_empty() {
             self.reclusterings += 1;

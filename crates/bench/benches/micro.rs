@@ -91,7 +91,7 @@ fn bench_end_to_end() {
             let mut spec = WorkloadSpec::for_total_kb(2048);
             spec.warmup_ops = 200;
             spec.measure_cycles = 500_000;
-            let mut exp = Experiment::build(spec.clone(), kind.build(&spec));
+            let mut exp = Experiment::build(spec.clone(), kind.build(&spec.machine));
             exp.run().window.ops
         });
     }

@@ -14,7 +14,7 @@ fn main() {
         _ => PolicyKind::CoreTime,
     };
     let spec = WorkloadSpec::for_total_kb(total_kb);
-    let boxed = policy.build(&spec);
+    let boxed = policy.build(&spec.machine);
     let mut exp = Experiment::build(spec.clone(), boxed);
 
     let m = exp.run();

@@ -1,184 +1,17 @@
-//! # o2-bench — the experiment harness
+//! # o2-bench — the experiment harness binaries
 //!
-//! One binary per figure/table of the paper plus ablations; this library
-//! holds the shared plumbing: policy construction, size sweeps, and series
-//! assembly. See DESIGN.md and README.md for the experiment index.
+//! Every paper figure, table and ablation lives in the
+//! [`o2_experiments`] scenario registry and runs through the single
+//! `o2` umbrella binary (`o2 --list`, `o2 --run <scenario> --jobs N`).
+//! The `bench_*` binaries remain as host-side performance benchmarks of
+//! individual subsystems (engine loop, memory system, scheduler
+//! decision path, fs bookkeeping), and `diag` as the calibration
+//! diagnostic.
+//!
+//! This crate re-exports `o2-experiments` so the binaries (and older
+//! call sites) keep one import path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use o2_baseline::{StaticPartition, ThreadClustering, ThreadScheduler};
-use o2_core::{CoreTime, CoreTimeConfig};
-use o2_metrics::{Series, SeriesTable};
-use o2_runtime::SchedPolicy;
-use o2_workloads::{Experiment, Measurement, WorkloadSpec};
-
-/// Which scheduling policy to construct for a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PolicyKind {
-    /// CoreTime with the default configuration ("With CoreTime").
-    CoreTime,
-    /// CoreTime with every Section-6.2 extension enabled.
-    CoreTimeExtensions,
-    /// The traditional thread scheduler ("Without CoreTime").
-    ThreadScheduler,
-    /// Sharing-aware thread clustering (Tam et al.).
-    ThreadClustering,
-    /// Static round-robin object partitioning.
-    StaticPartition,
-}
-
-impl PolicyKind {
-    /// Human-readable label used in series names (matches the paper's
-    /// figure legends where applicable).
-    pub fn label(&self) -> &'static str {
-        match self {
-            PolicyKind::CoreTime => "With CoreTime",
-            PolicyKind::CoreTimeExtensions => "With CoreTime (+extensions)",
-            PolicyKind::ThreadScheduler => "Without CoreTime",
-            PolicyKind::ThreadClustering => "Thread clustering",
-            PolicyKind::StaticPartition => "Static partition",
-        }
-    }
-
-    /// Builds the policy for a given workload specification.
-    pub fn build(&self, spec: &WorkloadSpec) -> Box<dyn SchedPolicy> {
-        match self {
-            PolicyKind::CoreTime => CoreTime::policy(&spec.machine),
-            PolicyKind::CoreTimeExtensions => CoreTime::policy_with_extensions(&spec.machine),
-            PolicyKind::ThreadScheduler => Box::new(ThreadScheduler::new()),
-            PolicyKind::ThreadClustering => Box::new(ThreadClustering::new(
-                spec.machine.chips,
-                spec.machine.cores_per_chip,
-            )),
-            PolicyKind::StaticPartition => {
-                Box::new(StaticPartition::new(spec.machine.total_cores()))
-            }
-        }
-    }
-
-    /// Builds a CoreTime policy with an explicit configuration (for
-    /// ablations); other kinds ignore the configuration.
-    pub fn build_with_coretime_config(
-        &self,
-        spec: &WorkloadSpec,
-        cfg: CoreTimeConfig,
-    ) -> Box<dyn SchedPolicy> {
-        match self {
-            PolicyKind::CoreTime | PolicyKind::CoreTimeExtensions => {
-                CoreTime::policy_with(&spec.machine, cfg)
-            }
-            other => other.build(spec),
-        }
-    }
-}
-
-/// Runs one (spec, policy) point and returns its measurement.
-pub fn run_point(spec: &WorkloadSpec, policy: PolicyKind) -> Measurement {
-    let p = policy.build(spec);
-    Experiment::build(spec.clone(), p).run()
-}
-
-/// The total-data-size sweep of Figure 4 (kilobytes). The paper's x-axis
-/// runs from a few hundred kilobytes to 20 MB.
-pub fn fig4_sizes_kb() -> Vec<u64> {
-    vec![
-        64, 128, 256, 512, 1024, 2048, 3072, 4096, 6144, 8192, 12288, 16384, 20480,
-    ]
-}
-
-/// A reduced sweep for quick runs (set `O2_QUICK=1`).
-pub fn fig4_sizes_kb_quick() -> Vec<u64> {
-    vec![128, 512, 2048, 8192, 16384]
-}
-
-/// Returns the sweep honouring the `O2_QUICK` environment variable.
-pub fn fig4_sweep() -> Vec<u64> {
-    if quick_mode() {
-        fig4_sizes_kb_quick()
-    } else {
-        fig4_sizes_kb()
-    }
-}
-
-/// Whether quick mode was requested via the `O2_QUICK` environment
-/// variable.
-pub fn quick_mode() -> bool {
-    std::env::var("O2_QUICK")
-        .map(|v| v != "0" && !v.is_empty())
-        .unwrap_or(false)
-}
-
-/// Sweeps total data size for a set of policies and returns one series per
-/// policy, in the units of Figure 4 (x = total KB, y = thousands of
-/// resolutions per second).
-pub fn sweep_sizes<F>(sizes_kb: &[u64], policies: &[PolicyKind], mut make_spec: F) -> SeriesTable
-where
-    F: FnMut(u64) -> WorkloadSpec,
-{
-    let mut table = SeriesTable::new("Total data size (KB)");
-    for &policy in policies {
-        let mut series = Series::new(policy.label());
-        for &kb in sizes_kb {
-            let spec = make_spec(kb);
-            let m = run_point(&spec, policy);
-            series.push(m.total_kb(), m.kres_per_sec());
-        }
-        table.add(series);
-    }
-    table
-}
-
-/// Prints a table and, when `O2_CSV=1`, its CSV form as well.
-pub fn print_table(table: &SeriesTable) {
-    println!("{}", table.render_text());
-    if std::env::var("O2_CSV").map(|v| v == "1").unwrap_or(false) {
-        println!("{}", table.render_csv());
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn labels_match_the_papers_legends() {
-        assert_eq!(PolicyKind::CoreTime.label(), "With CoreTime");
-        assert_eq!(PolicyKind::ThreadScheduler.label(), "Without CoreTime");
-    }
-
-    #[test]
-    fn policies_can_be_built_for_the_default_spec() {
-        let spec = WorkloadSpec::paper_default(4);
-        for kind in [
-            PolicyKind::CoreTime,
-            PolicyKind::CoreTimeExtensions,
-            PolicyKind::ThreadScheduler,
-            PolicyKind::ThreadClustering,
-            PolicyKind::StaticPartition,
-        ] {
-            let p = kind.build(&spec);
-            assert!(!p.name().is_empty());
-        }
-    }
-
-    #[test]
-    fn sweep_sizes_produces_one_series_per_policy() {
-        let mut spec = WorkloadSpec::paper_default(2);
-        spec.machine = o2_sim::MachineConfig::quad4();
-        spec.warmup_ops = 50;
-        spec.measure_cycles = 200_000;
-        let table = sweep_sizes(&[64], &[PolicyKind::ThreadScheduler], |_| spec.clone());
-        assert_eq!(table.series.len(), 1);
-        assert_eq!(table.series[0].points.len(), 1);
-        assert!(table.series[0].points[0].1 > 0.0);
-    }
-
-    #[test]
-    fn fig4_sweeps_are_sorted_and_cover_20mb() {
-        let s = fig4_sizes_kb();
-        assert!(s.windows(2).all(|w| w[0] < w[1]));
-        assert_eq!(*s.last().unwrap(), 20480);
-        assert!(fig4_sizes_kb_quick().len() < s.len());
-    }
-}
+pub use o2_experiments::*;

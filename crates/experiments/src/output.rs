@@ -1,0 +1,160 @@
+//! Rendering a [`MatrixRun`]: plain-text reports and deterministic JSON.
+//!
+//! Both renderings are pure functions of the assembled results (which
+//! are themselves collected in cell-index order), so the bytes they
+//! produce are independent of worker count and completion order — the
+//! property `tests/runner_determinism.rs` pins.
+
+use o2_metrics::Report;
+
+use crate::runner::MatrixRun;
+
+/// Renders every scenario of a run as an `o2-metrics` text report.
+pub fn render_reports(run: &MatrixRun) -> String {
+    let mut out = String::new();
+    for s in &run.scenarios {
+        let mut report = Report::new(s.title.clone(), s.table());
+        for (k, v) in &s.params {
+            report = report.param(k.clone(), v);
+        }
+        for n in &s.notes {
+            report = report.note(n.clone());
+        }
+        out.push_str(&report.render_text());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a run as JSON.
+///
+/// Hand-rolled (the workspace is offline, no serde): strings are
+/// escaped, numbers use Rust's shortest-roundtrip `f64` formatting, and
+/// field order is fixed — the same run always renders to the same
+/// bytes.
+pub fn render_json(run: &MatrixRun) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"generator\": \"o2 experiment matrix\",\n  \"scenarios\": [");
+    for (i, s) in run.scenarios.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n      \"name\": ");
+        push_str_json(&mut out, &s.name);
+        out.push_str(",\n      \"title\": ");
+        push_str_json(&mut out, &s.title);
+        out.push_str(",\n      \"x_label\": ");
+        push_str_json(&mut out, &s.x_label);
+        out.push_str(",\n      \"params\": [");
+        for (j, (k, v)) in s.params.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push('[');
+            push_str_json(&mut out, k);
+            out.push_str(", ");
+            push_str_json(&mut out, v);
+            out.push(']');
+        }
+        out.push_str("],\n      \"series\": [");
+        for (j, series) in s.series.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("\n        {\"label\": ");
+            push_str_json(&mut out, &series.label);
+            out.push_str(", \"points\": [");
+            for (k, &(x, y)) in series.points.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{{\"x\": {}, \"y\": {}}}", fmt_f64(x), fmt_f64(y)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n      ],\n      \"notes\": [");
+        for (j, n) in s.notes.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            push_str_json(&mut out, n);
+        }
+        out.push_str("]\n    }");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Formats an `f64` as a JSON number (integers without the trailing
+/// `.0`, everything else shortest-roundtrip).
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn push_str_json(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{ScenarioResult, SeriesResult};
+
+    fn run() -> MatrixRun {
+        MatrixRun {
+            scenarios: vec![ScenarioResult {
+                name: "toy".into(),
+                title: "Toy \"quoted\" scenario".into(),
+                x_label: "size".into(),
+                params: vec![("machine".into(), "amd16".into())],
+                series: vec![SeriesResult {
+                    label: "With CoreTime".into(),
+                    points: vec![(64.0, 2031.25), (128.0, 4000.0)],
+                }],
+                notes: vec!["a note".into()],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let a = render_json(&run());
+        let b = render_json(&run());
+        assert_eq!(a, b);
+        assert!(a.contains("\"Toy \\\"quoted\\\" scenario\""));
+        assert!(a.contains("{\"x\": 64, \"y\": 2031.25}"));
+        assert!(a.contains("\"notes\": [\"a note\"]"));
+    }
+
+    #[test]
+    fn text_report_contains_table_and_notes() {
+        let text = render_reports(&run());
+        assert!(text.contains("Toy \"quoted\" scenario"));
+        assert!(text.contains("With CoreTime"));
+        assert!(text.contains("machine: amd16"));
+        assert!(text.contains("* a note"));
+    }
+
+    #[test]
+    fn float_formatting_is_integer_for_integers() {
+        assert_eq!(fmt_f64(64.0), "64");
+        assert_eq!(fmt_f64(2031.25), "2031.25");
+        assert_eq!(fmt_f64(-3.0), "-3");
+    }
+}

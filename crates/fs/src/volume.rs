@@ -18,11 +18,22 @@
 //! through a per-directory flat name index (an
 //! [`o2_collections::FlatTable`] from canonical 8.3 [`NameKey`]s to entry
 //! slots), so create / rename / unlink churn probes and backward-shifts a
-//! flat table instead of rescanning the image. Directories themselves are
-//! identified by dense [`DirId`]s — creation-order indices into one
-//! handle slab. The old linear scan survives as
-//! [`Volume::search_linear`], kept as an executable specification and as
-//! the baseline for `bench_fs`.
+//! flat table instead of rescanning the image. The old linear scan
+//! survives as [`Volume::search_linear`], kept as an executable
+//! specification and as the baseline for `bench_fs`.
+//!
+//! ## The handle table
+//!
+//! Directories are identified by dense [`DirId`]s handed out
+//! lowest-free-first. Since [`Volume::remove_directory`] reclaims ids
+//! (and FAT clusters), the id space is no longer append-only: the live
+//! set is a [`FlatTable`] from `DirId` to a storage slot in a slab of
+//! handles — the workspace's fourth deletion-bearing flat-table user,
+//! alongside the coherence directory, the CoreTime pair table and the
+//! per-directory name indexes. Ids and storage slots are allocated from
+//! separate free pools (ids lowest-first so reuse is deterministic,
+//! slots LIFO), so after interleaved removals the id → slot map is not
+//! the identity and the table genuinely resolves it.
 
 use o2_collections::FlatTable;
 use o2_sim::{Addr, SimMemory};
@@ -104,6 +115,8 @@ pub enum VolumeError {
     NoSuchEntry,
     /// The directory has no free entry slot left.
     DirectoryFull,
+    /// The directory still holds live entries and cannot be removed.
+    DirectoryNotEmpty,
 }
 
 impl From<FatError> for VolumeError {
@@ -132,6 +145,13 @@ impl DirIndex {
     }
 }
 
+/// One live directory's storage: the handle plus its host-side index.
+#[derive(Debug, Clone)]
+struct DirSlot {
+    handle: DirectoryHandle,
+    index: DirIndex,
+}
+
 /// The in-memory volume.
 #[derive(Debug, Clone)]
 pub struct Volume {
@@ -139,9 +159,18 @@ pub struct Volume {
     fat: Fat,
     /// The data area (cluster 2 starts at offset 0).
     image: Vec<u8>,
-    directories: Vec<DirectoryHandle>,
-    /// Host-side per-directory bookkeeping, parallel to `directories`.
-    indices: Vec<DirIndex>,
+    /// Live [`DirId`] → storage slot in `slots` (see "The handle table"
+    /// in the module docs).
+    ids: FlatTable<u64, u32>,
+    /// Handle storage; retired slots are `None` until reused.
+    slots: Vec<Option<DirSlot>>,
+    /// Retired storage slots, reused LIFO.
+    spare_slots: Vec<u32>,
+    /// Reclaimed directory ids, kept sorted descending so `pop()` hands
+    /// out the lowest id first (deterministic reuse).
+    spare_ids: Vec<DirId>,
+    /// The first id never handed out yet.
+    next_id: DirId,
 }
 
 impl Volume {
@@ -152,8 +181,11 @@ impl Volume {
             geometry,
             fat: Fat::new(clusters),
             image: vec![0u8; geometry.data_clusters as usize * geometry.bytes_per_cluster as usize],
-            directories: Vec::new(),
-            indices: Vec::new(),
+            ids: FlatTable::default(),
+            slots: Vec::new(),
+            spare_slots: Vec::new(),
+            spare_ids: Vec::new(),
+            next_id: 0,
         }
     }
 
@@ -180,21 +212,53 @@ impl Volume {
         self.geometry
     }
 
-    /// The directories created so far.
-    pub fn directories(&self) -> &[DirectoryHandle] {
-        &self.directories
+    /// Storage slot of a live directory id.
+    fn slot_of(&self, dir: DirId) -> Result<usize, VolumeError> {
+        self.ids
+            .peek(u64::from(dir))
+            .map(|&s| s as usize)
+            .ok_or(VolumeError::NoSuchDirectory)
+    }
+
+    fn dir_slot(&self, dir: DirId) -> Result<&DirSlot, VolumeError> {
+        let slot = self.slot_of(dir)?;
+        Ok(self.slots[slot].as_ref().expect("live slot"))
+    }
+
+    fn dir_slot_mut(&mut self, dir: DirId) -> Result<&mut DirSlot, VolumeError> {
+        let slot = self.slot_of(dir)?;
+        Ok(self.slots[slot].as_mut().expect("live slot"))
+    }
+
+    /// The live directories, in id order.
+    pub fn directories(&self) -> impl Iterator<Item = &DirectoryHandle> + '_ {
+        (0..self.next_id).filter_map(move |id| {
+            self.ids.peek(u64::from(id)).map(|&slot| {
+                &self.slots[slot as usize]
+                    .as_ref()
+                    .expect("live slot")
+                    .handle
+            })
+        })
+    }
+
+    /// Number of live directories.
+    pub fn dir_count(&self) -> usize {
+        self.ids.len()
     }
 
     /// A directory by dense id.
     pub fn directory(&self, index: DirId) -> Result<&DirectoryHandle, VolumeError> {
-        self.directories
-            .get(index as usize)
-            .ok_or(VolumeError::NoSuchDirectory)
+        self.dir_slot(index).map(|s| &s.handle)
     }
 
     /// Total bytes of directory data (the paper's "total data size" x-axis).
     pub fn total_directory_bytes(&self) -> u64 {
-        self.directories.iter().map(|d| d.byte_len as u64).sum()
+        self.slots
+            .iter()
+            .flatten()
+            .map(|s| s.handle.byte_len as u64)
+            .sum()
     }
 
     /// Creates a directory populated with `files` synthetic entries and
@@ -207,7 +271,9 @@ impl Volume {
 
     /// Creates a directory with `capacity` entry slots of which the first
     /// `live` hold synthetic entries; the rest are free for
-    /// [`Volume::create_entry`]. Returns the dense id.
+    /// [`Volume::create_entry`]. Returns the dense id — the lowest
+    /// reclaimed id if any directory was removed, the next fresh one
+    /// otherwise.
     pub fn create_directory_with_capacity(
         &mut self,
         live: u32,
@@ -228,6 +294,9 @@ impl Volume {
         for (i, w) in chain.windows(2).enumerate() {
             debug_assert_eq!(w[1], w[0] + 1, "cluster chain not contiguous at {i}");
         }
+        // The clusters may have belonged to a removed directory; start
+        // from a clean byte range.
+        self.image[image_offset..image_offset + bytes].fill(0);
         let mut index = DirIndex {
             names: FlatTable::with_capacity(capacity as usize * 8 / 7 + 1),
             free: (live..capacity).rev().collect(),
@@ -240,18 +309,60 @@ impl Volume {
             index.names.insert(NameKey::new(&name), i);
         }
 
-        let id = self.directories.len() as DirId;
-        self.directories.push(DirectoryHandle {
-            index: id,
-            first_cluster,
-            entry_count: capacity,
-            image_offset,
-            byte_len: bytes,
-            sim_addr: 0,
-            lock_addr: 0,
+        let id = self.spare_ids.pop().unwrap_or_else(|| {
+            let id = self.next_id;
+            self.next_id += 1;
+            id
         });
-        self.indices.push(index);
+        let slot = match self.spare_slots.pop() {
+            Some(s) => s as usize,
+            None => {
+                self.slots.push(None);
+                self.slots.len() - 1
+            }
+        };
+        self.slots[slot] = Some(DirSlot {
+            handle: DirectoryHandle {
+                index: id,
+                first_cluster,
+                entry_count: capacity,
+                image_offset,
+                byte_len: bytes,
+                sim_addr: 0,
+                lock_addr: 0,
+            },
+            index,
+        });
+        self.ids.insert(u64::from(id), slot as u32);
         Ok(id)
+    }
+
+    /// Removes an *empty* directory: frees its FAT cluster chain and
+    /// reclaims its [`DirId`] for the next [`Volume::create_directory`].
+    /// Errors with [`VolumeError::DirectoryNotEmpty`] while any live
+    /// entry remains (unlink them first) and
+    /// [`VolumeError::NoSuchDirectory`] for unknown or already-removed
+    /// ids.
+    pub fn remove_directory(&mut self, dir: DirId) -> Result<(), VolumeError> {
+        let slot = self.slot_of(dir)?;
+        if !self.slots[slot]
+            .as_ref()
+            .expect("live slot")
+            .index
+            .names
+            .is_empty()
+        {
+            return Err(VolumeError::DirectoryNotEmpty);
+        }
+        let s = self.slots[slot].take().expect("live slot");
+        self.fat
+            .free_chain(s.handle.first_cluster)
+            .expect("live directory has a valid chain");
+        self.ids.remove(u64::from(dir));
+        let at = self.spare_ids.partition_point(|&i| i > dir);
+        self.spare_ids.insert(at, dir);
+        self.spare_slots.push(slot as u32);
+        Ok(())
     }
 
     /// Reads entry `i` of directory `dir` from the image.
@@ -267,27 +378,22 @@ impl Volume {
     /// Entry slot holding `name` in directory `dir`, resolved through the
     /// flat name index (host-side, O(1) expected).
     pub fn find_entry(&self, dir: DirId, name: &str) -> Result<Option<u32>, VolumeError> {
-        let index = self
-            .indices
-            .get(dir as usize)
-            .ok_or(VolumeError::NoSuchDirectory)?;
-        Ok(index.names.peek(NameKey::new(name)).copied())
+        Ok(self
+            .dir_slot(dir)?
+            .index
+            .names
+            .peek(NameKey::new(name))
+            .copied())
     }
 
     /// Live entries (slots holding a name) in directory `dir`.
     pub fn live_entries(&self, dir: DirId) -> Result<u32, VolumeError> {
-        self.indices
-            .get(dir as usize)
-            .map(|i| i.names.len() as u32)
-            .ok_or(VolumeError::NoSuchDirectory)
+        Ok(self.dir_slot(dir)?.index.names.len() as u32)
     }
 
     /// Free entry slots left in directory `dir`.
     pub fn free_slots(&self, dir: DirId) -> Result<u32, VolumeError> {
-        self.indices
-            .get(dir as usize)
-            .map(|i| i.free.len() as u32)
-            .ok_or(VolumeError::NoSuchDirectory)
+        Ok(self.dir_slot(dir)?.index.free.len() as u32)
     }
 
     /// Creates a file entry named `name` in directory `dir`, taking the
@@ -295,15 +401,14 @@ impl Volume {
     /// [`VolumeError::DuplicateName`] if the (canonicalised) name already
     /// exists and [`VolumeError::DirectoryFull`] if no slot is free.
     pub fn create_entry(&mut self, dir: DirId, name: &str, size: u32) -> Result<u32, VolumeError> {
-        let d = self.directory(dir)?;
-        let (image_offset, first_cluster) = (d.image_offset, d.first_cluster);
         let key = NameKey::new(name);
-        let index = &mut self.indices[dir as usize];
-        if index.names.peek(key).is_some() {
+        let s = self.dir_slot_mut(dir)?;
+        let (image_offset, first_cluster) = (s.handle.image_offset, s.handle.first_cluster);
+        if s.index.names.peek(key).is_some() {
             return Err(VolumeError::DuplicateName);
         }
-        let slot = index.free.pop().ok_or(VolumeError::DirectoryFull)?;
-        index.names.insert(key, slot);
+        let slot = s.index.free.pop().ok_or(VolumeError::DirectoryFull)?;
+        s.index.names.insert(key, slot);
         let entry = DirEntry::file(name, first_cluster, size);
         let off = image_offset + slot as usize * DIRENT_SIZE;
         self.image[off..off + DIRENT_SIZE].copy_from_slice(&entry.encode());
@@ -315,14 +420,14 @@ impl Volume {
     /// the free pool. Errors with [`VolumeError::NoSuchEntry`] if the name
     /// is not present.
     pub fn unlink(&mut self, dir: DirId, name: &str) -> Result<u32, VolumeError> {
-        let d = self.directory(dir)?;
-        let image_offset = d.image_offset;
-        let index = &mut self.indices[dir as usize];
-        let slot = index
+        let s = self.dir_slot_mut(dir)?;
+        let image_offset = s.handle.image_offset;
+        let slot = s
+            .index
             .names
             .remove(NameKey::new(name))
             .ok_or(VolumeError::NoSuchEntry)?;
-        index.release_slot(slot);
+        s.index.release_slot(slot);
         self.image[image_offset + slot as usize * DIRENT_SIZE] = DELETED_MARKER;
         Ok(slot)
     }
@@ -334,22 +439,21 @@ impl Volume {
     /// entry; renaming to a canonically equal name is a no-op success,
     /// as on a real FAT volume.
     pub fn rename(&mut self, dir: DirId, old: &str, new: &str) -> Result<u32, VolumeError> {
-        let d = self.directory(dir)?;
-        let image_offset = d.image_offset;
         let (old_key, new_key) = (NameKey::new(old), NameKey::new(new));
-        let index = &mut self.indices[dir as usize];
-        let Some(&slot) = index.names.peek(old_key) else {
+        let s = self.dir_slot_mut(dir)?;
+        let image_offset = s.handle.image_offset;
+        let Some(&slot) = s.index.names.peek(old_key) else {
             return Err(VolumeError::NoSuchEntry);
         };
         if old_key == new_key {
             // Canonically the same name: the stored bytes already match.
             return Ok(slot);
         }
-        if index.names.peek(new_key).is_some() {
+        if s.index.names.peek(new_key).is_some() {
             return Err(VolumeError::DuplicateName);
         }
-        let slot = index.names.remove(old_key).expect("checked above");
-        index.names.insert(new_key, slot);
+        let slot = s.index.names.remove(old_key).expect("checked above");
+        s.index.names.insert(new_key, slot);
         let (n, e) = split_8_3(new);
         let off = image_offset + slot as usize * DIRENT_SIZE;
         self.image[off..off + 8].copy_from_slice(&n);
@@ -386,7 +490,16 @@ impl Volume {
     /// labelled with the directory index, with DRAM homes spread round-robin
     /// across chips — the natural layout for interleaved shared data.
     pub fn map_into(&mut self, memory: &mut SimMemory) {
-        for d in &mut self.directories {
+        // Iterate in id order (not slot order) so region allocation stays
+        // a pure function of the directory set.
+        for id in 0..self.next_id {
+            let Some(&slot) = self.ids.peek(u64::from(id)) else {
+                continue;
+            };
+            let d = &mut self.slots[slot as usize]
+                .as_mut()
+                .expect("live slot")
+                .handle;
             let region = memory.alloc(d.byte_len as u64, u64::from(d.index));
             d.sim_addr = region.addr;
             let lock_region = memory.alloc(64, 0xF000_0000 + u64::from(d.index));
@@ -396,7 +509,7 @@ impl Volume {
 
     /// Whether [`Volume::map_into`] has been called.
     pub fn is_mapped(&self) -> bool {
-        self.directories.iter().all(|d| d.sim_addr != 0)
+        self.directories().all(|d| d.sim_addr != 0)
     }
 
     fn cluster_offset(&self, cluster: u16) -> usize {
@@ -411,7 +524,7 @@ mod tests {
     #[test]
     fn benchmark_volume_matches_paper_parameters() {
         let v = Volume::build_benchmark(20, 1000).unwrap();
-        assert_eq!(v.directories().len(), 20);
+        assert_eq!(v.dir_count(), 20);
         for d in v.directories() {
             assert_eq!(d.entry_count, 1000);
             assert_eq!(d.byte_len, 32_000);
@@ -462,7 +575,7 @@ mod tests {
     #[test]
     fn directories_occupy_disjoint_image_ranges() {
         let v = Volume::build_benchmark(4, 1000).unwrap();
-        let dirs = v.directories();
+        let dirs: Vec<&DirectoryHandle> = v.directories().collect();
         for a in 0..dirs.len() {
             for b in (a + 1)..dirs.len() {
                 let (da, db) = (&dirs[a], &dirs[b]);
@@ -482,7 +595,7 @@ mod tests {
         let mut mem = SimMemory::new(4, 64);
         v.map_into(&mut mem);
         assert!(v.is_mapped());
-        let addrs: Vec<u64> = v.directories().iter().map(|d| d.sim_addr).collect();
+        let addrs: Vec<u64> = v.directories().map(|d| d.sim_addr).collect();
         let mut unique = addrs.clone();
         unique.sort_unstable();
         unique.dedup();
@@ -615,5 +728,88 @@ mod tests {
         assert_eq!(v.rename(d, "NEW.DAT", "new.dat"), Ok(2));
         assert_eq!(v.find_entry(d, "NEW.DAT").unwrap(), Some(2));
         assert_eq!(v.live_entries(d).unwrap(), 4);
+    }
+
+    /// Empties directory `d` by unlinking its synthetic entries `0..n`.
+    fn drain(v: &mut Volume, d: DirId, n: u32) {
+        for i in 0..n {
+            v.unlink(d, &synthetic_name(i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn remove_directory_rejects_non_empty_and_missing() {
+        let mut v = Volume::new(VolumeGeometry::default());
+        let d = v.create_directory(3).unwrap();
+        assert_eq!(v.remove_directory(d), Err(VolumeError::DirectoryNotEmpty));
+        assert_eq!(v.remove_directory(99), Err(VolumeError::NoSuchDirectory));
+        drain(&mut v, d, 3);
+        assert_eq!(v.remove_directory(d), Ok(()));
+        // Gone: every per-directory operation reports NoSuchDirectory,
+        // and removing twice fails the same way.
+        assert_eq!(v.remove_directory(d), Err(VolumeError::NoSuchDirectory));
+        assert_eq!(v.live_entries(d), Err(VolumeError::NoSuchDirectory));
+        assert_eq!(v.search(d, "X.TXT"), Err(VolumeError::NoSuchDirectory));
+        assert_eq!(
+            v.create_entry(d, "X.TXT", 1),
+            Err(VolumeError::NoSuchDirectory)
+        );
+        assert_eq!(v.dir_count(), 0);
+    }
+
+    #[test]
+    fn remove_directory_reclaims_clusters_and_the_id() {
+        let mut v = Volume::new(VolumeGeometry {
+            bytes_per_cluster: 4096,
+            data_clusters: 4,
+        });
+        let a = v.create_directory(400).unwrap(); // 12.5 KB -> 4 clusters
+        let offset_a = v.directory(a).unwrap().image_offset;
+        assert!(matches!(
+            v.create_directory(400),
+            Err(VolumeError::Fat(FatError::OutOfSpace))
+        ));
+        drain(&mut v, a, 400);
+        v.remove_directory(a).unwrap();
+        // Both the clusters and the DirId come back; the freed clusters
+        // are the lowest free ones, so the image range is reused too.
+        let b = v.create_directory(400).unwrap();
+        assert_eq!(b, a);
+        assert_eq!(v.directory(b).unwrap().image_offset, offset_a);
+        assert_eq!(v.live_entries(b).unwrap(), 400);
+        // The reused image range was wiped: entry 0 is the fresh
+        // synthetic entry, not stale bytes.
+        assert!(v.read_entry(b, 0).unwrap().matches(&synthetic_name(0)));
+    }
+
+    #[test]
+    fn reclaimed_ids_are_reused_lowest_first_and_ids_diverge_from_slots() {
+        let mut v = Volume::new(VolumeGeometry::default());
+        for _ in 0..4 {
+            v.create_directory(2).unwrap();
+        }
+        drain(&mut v, 1, 2);
+        v.remove_directory(1).unwrap();
+        drain(&mut v, 3, 2);
+        v.remove_directory(3).unwrap();
+        assert_eq!(v.dir_count(), 2);
+        assert_eq!(
+            v.directories().map(|d| d.index).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        // Lowest reclaimed id first: 1, then 3, then a fresh 4 — while
+        // storage slots come back LIFO, so id 1 lands in slot 3's storage
+        // and the id -> slot map is not the identity.
+        assert_eq!(v.create_directory(2).unwrap(), 1);
+        assert_eq!(v.create_directory(2).unwrap(), 3);
+        assert_eq!(v.create_directory(2).unwrap(), 4);
+        assert_eq!(
+            v.directories().map(|d| d.index).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        for d in 0..5 {
+            assert_eq!(v.live_entries(d).unwrap(), 2, "dir {d}");
+            assert_eq!(v.find_entry(d, &synthetic_name(0)).unwrap(), Some(0));
+        }
     }
 }

@@ -75,14 +75,14 @@ impl Experiment {
 
         // Register every directory (and its spin lock) with the runtime and
         // the policy, as the annotated application would.
-        let mut locks = Vec::with_capacity(volume.directories().len());
+        let mut locks = Vec::with_capacity(volume.dir_count());
         for dir in volume.directories() {
             let lock = engine.register_lock(dir.lock_addr);
             engine.register_object(directory_descriptor(dir, lock));
             locks.push(lock);
         }
         let dirs = Rc::new(DirectorySet {
-            dirs: volume.directories().to_vec(),
+            dirs: volume.directories().cloned().collect(),
             locks,
         });
 

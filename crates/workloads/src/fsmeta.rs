@@ -6,11 +6,14 @@
 //! what exercises the deletion paths of the volume's flat name index
 //! (backward-shift removal on unlink and rename). This workload drives
 //! that churn end-to-end through the engine: each thread repeatedly picks
-//! a directory and performs a create / unlink / rename / lookup, with the
-//! host-side bookkeeping going through [`o2_fs::Volume`]'s flat index and
-//! the *modeled* cost staying the paper's Figure-3 shape — take the
-//! directory lock, scan entries up to the touched slot, write the 32-byte
-//! entry (for mutations), unlock, all inside `ct_start`/`ct_end`.
+//! a directory and performs a create / unlink / rename / lookup — or,
+//! with a small probability, retires the *whole directory* and recreates
+//! it empty (exercising [`o2_fs::Volume::remove_directory`] and `DirId`
+//! reuse) — with the host-side bookkeeping going through
+//! [`o2_fs::Volume`]'s flat index and the *modeled* cost staying the
+//! paper's Figure-3 shape — take the directory lock, scan entries up to
+//! the touched slot, write the 32-byte entry (for mutations), unlock,
+//! all inside `ct_start`/`ct_end`.
 //!
 //! The volume is shared by every thread (`Rc<RefCell<…>>`): the engine is
 //! single-threaded in host terms and executes threads in deterministic
@@ -109,12 +112,16 @@ impl FsMetaSpec {
 pub struct FsMetaStats {
     /// Entries created.
     pub created: u64,
-    /// Entries unlinked.
+    /// Entries unlinked (one at a time).
     pub unlinked: u64,
     /// Entries renamed.
     pub renamed: u64,
     /// Pure lookups (including deliberate misses).
     pub lookups: u64,
+    /// Whole directories retired and recreated in place.
+    pub dirs_recycled: u64,
+    /// Entries drained while retiring directories.
+    pub drained: u64,
 }
 
 /// Shared mutable state of one churn run: the volume plus the live-name
@@ -151,6 +158,8 @@ pub struct FsMetaGen {
     state: Rc<RefCell<FsState>>,
     dirs: Rc<DirectorySet>,
     cost: LookupCost,
+    /// Entry slots per directory, needed to recreate retired directories.
+    capacity: u32,
     rng: StdRng,
     ops_generated: u64,
     max_ops: Option<u64>,
@@ -161,6 +170,7 @@ impl FsMetaGen {
         state: Rc<RefCell<FsState>>,
         dirs: Rc<DirectorySet>,
         cost: LookupCost,
+        capacity: u32,
         seed: u64,
         max_ops: Option<u64>,
     ) -> Self {
@@ -168,6 +178,7 @@ impl FsMetaGen {
             state,
             dirs,
             cost,
+            capacity,
             rng: StdRng::seed_from_u64(seed),
             ops_generated: 0,
             max_ops,
@@ -213,7 +224,8 @@ impl OpGenerator for FsMetaGen {
 
         // Keep the mix away from the walls: an empty directory can only
         // create, a full one can only unlink; otherwise 40% create,
-        // 30% unlink, 15% rename, 15% lookup.
+        // 30% unlink, 14% rename, 14% lookup, 2% whole-directory
+        // retirement.
         let choice = if live_n == 0 {
             0
         } else if free_n == 0 {
@@ -244,7 +256,7 @@ impl OpGenerator for FsMetaGen {
                 st.stats.unlinked += 1;
                 self.mutation_actions(dir, lock, slot)
             }
-            70..=84 => {
+            70..=83 => {
                 let pick = self.rng.gen_range(0..live_n);
                 let old_serial = st.live[dir as usize][pick];
                 let new_serial = st.fresh_serial(dir);
@@ -260,10 +272,10 @@ impl OpGenerator for FsMetaGen {
                 st.stats.renamed += 1;
                 self.mutation_actions(dir, lock, slot)
             }
-            _ => {
+            84..=97 => {
                 st.stats.lookups += 1;
                 let handle = &self.dirs.dirs[dir as usize];
-                if roll == 99 {
+                if roll == 97 {
                     // A deliberate miss: scans the whole directory.
                     let target = st.next_serial[dir as usize];
                     debug_assert_eq!(
@@ -280,6 +292,51 @@ impl OpGenerator for FsMetaGen {
                     .expect("valid directory")
                     .expect("live entry resolves");
                 lookup_actions(handle, lock, slot, &self.cost)
+            }
+            _ => {
+                // Retire the whole directory: drain the remaining live
+                // entries, remove it (reclaiming the DirId and its FAT
+                // clusters) and recreate it empty in the same id slot.
+                // The simulated region and lock of the directory are
+                // fixed at build time in `self.dirs`, so only the
+                // host-side bookkeeping is torn down and rebuilt.
+                let drained: Vec<u32> = st.live[dir as usize].drain(..).collect();
+                let mut slots = Vec::with_capacity(drained.len());
+                for serial in &drained {
+                    let slot = st
+                        .volume
+                        .unlink(dir, &synthetic_name(*serial))
+                        .expect("fsmeta drain of a live entry");
+                    slots.push(slot);
+                }
+                st.volume
+                    .remove_directory(dir)
+                    .expect("drained directory is empty");
+                let recreated = st
+                    .volume
+                    .create_directory_with_capacity(0, self.capacity)
+                    .expect("recreate retired directory");
+                assert_eq!(recreated, dir, "the freed DirId slot is reused immediately");
+                st.stats.drained += drained.len() as u64;
+                st.stats.dirs_recycled += 1;
+                // Modeled cost: scan the whole directory under its lock,
+                // write each drained entry's deleted marker, then the
+                // directory metadata itself.
+                let handle = &self.dirs.dirs[dir as usize];
+                let mut op = OpBuilder::annotated(handle.object_id())
+                    .compute(self.cost.fixed_overhead_cycles)
+                    .lock(lock)
+                    .read(
+                        handle.sim_addr,
+                        u64::from(handle.entry_count) * DIRENT_SIZE as u64,
+                    )
+                    .compute(u64::from(handle.entry_count) * self.cost.compare_cycles_per_entry);
+                for &slot in &slots {
+                    op = op.write(handle.entry_addr(slot), DIRENT_SIZE as u64);
+                }
+                op.write(handle.sim_addr, DIRENT_SIZE as u64)
+                    .unlock(lock)
+                    .finish()
             }
         }
     }
@@ -322,7 +379,7 @@ impl FsMetaExperiment {
         volume.map_into(machine.memory_mut());
 
         let mut engine = Engine::new(machine, policy, spec.runtime);
-        let mut locks = Vec::with_capacity(volume.directories().len());
+        let mut locks = Vec::with_capacity(volume.dir_count());
         for dir in volume.directories() {
             let lock = engine.register_lock(dir.lock_addr);
             // Metadata churn writes the directories, so unlike the lookup
@@ -334,7 +391,7 @@ impl FsMetaExperiment {
             locks.push(lock);
         }
         let dirs = Rc::new(DirectorySet {
-            dirs: volume.directories().to_vec(),
+            dirs: volume.directories().cloned().collect(),
             locks,
         });
         let state = Rc::new(RefCell::new(FsState {
@@ -352,6 +409,7 @@ impl FsMetaExperiment {
                 Rc::clone(&state),
                 Rc::clone(&dirs),
                 spec.lookup_cost,
+                spec.capacity_per_dir,
                 spec.seed.wrapping_add(u64::from(t) * 0x9E37_79B9),
                 None,
             );
@@ -449,6 +507,11 @@ mod tests {
         assert!(stats.unlinked > 0, "no unlinks: {stats:?}");
         assert!(stats.renamed > 0, "no renames: {stats:?}");
         assert!(stats.lookups > 0, "no lookups: {stats:?}");
+        assert!(
+            stats.dirs_recycled > 0,
+            "no directories recycled: {stats:?}"
+        );
+        assert!(stats.drained > 0, "no entries drained: {stats:?}");
         // The host-side live tracking and the volume's flat index agree.
         let live = exp.live_counts();
         exp.with_volume(|v| {

@@ -116,7 +116,7 @@ mod tests {
         let mut mem = SimMemory::new(4, 64);
         v.map_into(&mut mem);
         Rc::new(DirectorySet {
-            dirs: v.directories().to_vec(),
+            dirs: v.directories().cloned().collect(),
             locks: (0..n as usize).collect(),
         })
     }

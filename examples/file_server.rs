@@ -29,7 +29,7 @@ fn serve(label: &str, policy: Box<dyn SchedPolicy>) -> f64 {
         locks.push(lock);
     }
     let dirs = Rc::new(DirectorySet {
-        dirs: volume.directories().to_vec(),
+        dirs: volume.directories().cloned().collect(),
         locks,
     });
 

@@ -11,7 +11,9 @@
 //! * [`fs`] — the EFSL-style in-memory FAT file system,
 //! * [`workloads`] — the benchmark workloads and experiment assembly,
 //! * [`baseline`] — comparator schedulers,
-//! * [`metrics`] — statistics and report rendering.
+//! * [`metrics`] — statistics and report rendering,
+//! * [`experiments`] — the experiment matrix: scenario registry and the
+//!   parallel sharded runner behind the `o2` driver binary.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory
 //! (including the event-queue engine design note).
@@ -22,6 +24,7 @@
 pub use o2_baseline as baseline;
 pub use o2_collections as collections;
 pub use o2_core as coretime;
+pub use o2_experiments as experiments;
 pub use o2_fs as fs;
 pub use o2_metrics as metrics;
 pub use o2_runtime as runtime;

@@ -1,13 +1,15 @@
 //! Golden fingerprint of the `fsmeta` metadata-churn workload.
 //!
-//! `fsmeta` drives create / rename / unlink churn through the engine with
-//! the volume's host-side bookkeeping on the flat name index, so this run
-//! pins, end-to-end: the engine's virtual-time interleaving, the modeled
-//! costs of the metadata operations, and the final state of every
-//! directory's name index (live entries, free slots, per-slot names).
-//! Any change to the churn mix, the volume's slot-allocation order
-//! (first-fit), the flat table's behaviour under deletion, or the
-//! engine's scheduling changes the fingerprint.
+//! `fsmeta` drives create / rename / unlink churn — plus occasional
+//! whole-directory retirement through `Volume::remove_directory` and
+//! `DirId` reuse — through the engine with the volume's host-side
+//! bookkeeping on the flat name index, so this run pins, end-to-end:
+//! the engine's virtual-time interleaving, the modeled costs of the
+//! metadata operations, and the final state of every directory's name
+//! index (live entries, free slots, per-slot names). Any change to the
+//! churn mix, the volume's slot-allocation order (first-fit), the
+//! handle table's id reuse, the flat table's behaviour under deletion,
+//! or the engine's scheduling changes the fingerprint.
 //!
 //! To re-capture after an *intentional* behaviour change:
 //! `O2_PRINT_FINGERPRINTS=1 cargo test --test fsmeta_golden -- --nocapture`
@@ -57,6 +59,8 @@ fn run_fingerprint() -> u64 {
     f.u64(stats.unlinked);
     f.u64(stats.renamed);
     f.u64(stats.lookups);
+    f.u64(stats.dirs_recycled);
+    f.u64(stats.drained);
     for &n in &exp.live_counts() {
         f.u64(u64::from(n));
     }
@@ -64,7 +68,7 @@ fn run_fingerprint() -> u64 {
     // are live, and under which (canonicalised) names — the observable
     // state of the flat name index after all the churn.
     exp.with_volume(|v| {
-        for dir in 0..v.directories().len() as u32 {
+        for dir in 0..v.dir_count() as u32 {
             let d = v.directory(dir).unwrap();
             for slot in 0..d.entry_count {
                 let e = v.read_entry(dir, slot).unwrap();
@@ -86,10 +90,11 @@ fn run_fingerprint() -> u64 {
     f.0
 }
 
-/// Captured from the run that introduced `fsmeta` (PR 4). The workload,
-/// the volume's first-fit slot allocation and the flat name index must
-/// keep reproducing it bit-for-bit.
-const GOLDEN_FINGERPRINT: u64 = 0x4c17_2b93_04b9_def8;
+/// Captured when the directory-retirement arm entered the churn mix
+/// (PR 5, alongside `Volume::remove_directory`). The workload, the
+/// volume's first-fit slot allocation, the handle table's id reuse and
+/// the flat name index must keep reproducing it bit-for-bit.
+const GOLDEN_FINGERPRINT: u64 = 0xea93_785b_40a7_b663;
 
 #[test]
 fn fsmeta_run_is_deterministic() {
