@@ -68,4 +68,19 @@ fn main() {
     println!("migration cycles  : {migration_cycles}");
     println!("lock wait cycles  : {lock_wait}");
     println!("total ops (all)   : {}", engine.total_ops());
+
+    let s = engine.sched_stats();
+    println!("-- event core --");
+    println!("events processed  : {}", s.events_processed);
+    println!("stale events      : {}", s.stale_events);
+    println!("park wakeups      : {}", s.park_wakeups);
+    println!("parks             : {}", s.parks);
+    println!("lock wakeups      : {}", s.lock_wakeups);
+    println!(
+        "wheel occupancy   : {} (high-water mark)",
+        s.wheel_occupancy_hwm
+    );
+    println!("wheel cascades    : {}", s.wheel_cascades);
+    println!("wheel overflows   : {}", s.wheel_overflows);
+    println!("wheel max batch   : {}", s.wheel_max_batch);
 }

@@ -117,23 +117,29 @@ impl ThreadBehaviour for FixedBehaviour {
 pub struct RepeatBehaviour {
     op: Vec<Action>,
     remaining: Option<u64>,
-    queue: VecDeque<Action>,
+    /// Replay position within `op`; starting past the end forces the
+    /// repetition bookkeeping on the first call. Index replay keeps this
+    /// allocation-free — it sits on the engine's hottest path (a
+    /// compute+yield thread re-enters it every other action).
+    pos: usize,
 }
 
 impl RepeatBehaviour {
     /// Repeats `op` `times` times (forever if `None`).
     pub fn new(op: Vec<Action>, times: Option<u64>) -> Self {
+        let pos = op.len();
         Self {
             op,
             remaining: times,
-            queue: VecDeque::new(),
+            pos,
         }
     }
 }
 
 impl ThreadBehaviour for RepeatBehaviour {
     fn next_action(&mut self, _ctx: &BehaviourCtx) -> Action {
-        if let Some(a) = self.queue.pop_front() {
+        if let Some(&a) = self.op.get(self.pos) {
+            self.pos += 1;
             return a;
         }
         match self.remaining {
@@ -144,8 +150,8 @@ impl ThreadBehaviour for RepeatBehaviour {
         if self.op.is_empty() {
             return Action::Exit;
         }
-        self.queue = self.op.clone().into();
-        self.queue.pop_front().unwrap_or(Action::Exit)
+        self.pos = 1;
+        self.op[0]
     }
 }
 

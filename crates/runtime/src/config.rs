@@ -3,6 +3,28 @@
 
 use crate::types::Cycles;
 
+/// Which event core drives the engine's run loop.
+///
+/// All three produce bit-identical simulation results; they differ only
+/// in speed and debuggability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventCoreKind {
+    /// The hierarchical timing wheel with batched same-cycle dispatch —
+    /// the fast default.
+    #[default]
+    Wheel,
+    /// The previous `BinaryHeap` event queue. Kept so benchmarks can
+    /// measure the wheel against the recorded baseline on the same host,
+    /// and as a second implementation for equivalence tests.
+    Heap,
+    /// The synchronous *cycle box*: no queue at all — every step re-scans
+    /// all cores' pending wakes and dispatches the earliest, advancing
+    /// the machine in lockstep. O(cores) per event, but the scheduling
+    /// order is directly readable from `sched_wake`, which makes it the
+    /// reference implementation for deterministic debugging.
+    CycleBox,
+}
+
 /// Tunable parameters of the cooperative runtime.
 ///
 /// The defaults are calibrated so that a migrate-out/migrate-back round
@@ -51,6 +73,9 @@ pub struct RuntimeConfig {
     /// paper-faithful spinning. Spinning burns cycles and coherence
     /// traffic; blocking models a runtime with sleeping mutexes.
     pub blocking_locks: bool,
+    /// Which event core drives the run loop. All kinds are bit-identical
+    /// in results; see [`EventCoreKind`].
+    pub event_core: EventCoreKind,
 }
 
 impl Default for RuntimeConfig {
@@ -68,6 +93,7 @@ impl Default for RuntimeConfig {
             quantum_cycles: 50_000,
             idle_step_cycles: 400,
             blocking_locks: false,
+            event_core: EventCoreKind::default(),
         }
     }
 }
@@ -104,6 +130,20 @@ impl RuntimeConfig {
     /// spinning; the holder's release wakes the first waiter.
     pub fn with_blocking_locks(mut self) -> Self {
         self.blocking_locks = true;
+        self
+    }
+
+    /// Selects the event core driving the run loop.
+    pub fn with_event_core(mut self, kind: EventCoreKind) -> Self {
+        self.event_core = kind;
+        self
+    }
+
+    /// Selects the synchronous cycle-box event core: lockstep dispatch by
+    /// an O(cores) scan, for deterministic debugging. Results are
+    /// bit-identical to the default wheel; only speed differs.
+    pub fn with_cycle_box(mut self) -> Self {
+        self.event_core = EventCoreKind::CycleBox;
         self
     }
 

@@ -7,11 +7,18 @@
 //! pluggable [`SchedPolicy`] consulted at every `ct_start`/`ct_end` and at
 //! periodic epochs.
 //!
-//! Execution is a deterministic discrete-event simulation. A min-heap of
+//! Execution is a deterministic discrete-event simulation. A min-queue of
 //! `(wake_cycle, core)` events drives the run loop: the engine always pops
 //! the event with the smallest wake cycle (ties broken by the lower core
 //! id, exactly the order the original smallest-clock scan produced), steps
-//! that core once, and reschedules it at its returned next wake time.
+//! that core once, and reschedules it at its returned next wake time. The
+//! queue itself is selectable through [`RuntimeConfig`]'s `event_core`: a
+//! hierarchical [`TimingWheel`](crate::wheel::TimingWheel) (the default —
+//! O(1) bucket inserts, batched same-cycle dispatch), the previous
+//! `BinaryHeap` (kept as the recorded-baseline comparator), or a
+//! queue-less *cycle box* that re-scans every core's pending wake each
+//! step — O(cores) per event, but trivially correct, so it doubles as a
+//! lockstep debugging reference. All three produce bit-identical runs.
 //! Cores with nothing to run are **parked** — they own no heap entry and
 //! consume zero work per step — and are explicitly woken by thread spawns,
 //! migration-inbox arrivals, lock releases (when [`RuntimeConfig`]'s
@@ -25,14 +32,57 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use crate::action::{Action, ObjectDescriptor};
 use crate::behaviour::{BehaviourCtx, ThreadBehaviour};
-use crate::config::RuntimeConfig;
+use crate::config::{EventCoreKind, RuntimeConfig};
 use crate::object_index::ObjectIndex;
 use crate::policy::{EpochView, OpContext, Placement, PolicyCommand, SchedPolicy};
 use crate::stats::{RunWindow, SchedStats};
 use crate::sync::LockRegistry;
 use crate::thread::{OpRecord, Thread, ThreadState, ThreadStats};
 use crate::types::{CoreId, Cycles, DenseObjectId, LockId, ObjectId, ThreadId};
+use crate::wheel::TimingWheel;
 use o2_sim::{AccessKind, Machine, MachineCounters, MemStats};
+
+/// Sentinel in `sched_wake` marking a parked core (no pending wake).
+/// `Cycles::MAX` is unreachable as a real wake cycle.
+const PARKED: Cycles = Cycles::MAX;
+
+/// The engine's event queue, in one of the three selectable forms.
+///
+/// `Scan` (the cycle box) holds no state of its own: `sched_wake` *is*
+/// the queue, and the engine finds the minimum by scanning it — the
+/// smallest-clock lockstep idiom the event queue originally replaced.
+enum EventQueue {
+    Wheel(TimingWheel),
+    Heap(BinaryHeap<Reverse<(Cycles, usize)>>),
+    Scan,
+}
+
+impl EventQueue {
+    fn push(&mut self, at: Cycles, core: usize) {
+        match self {
+            EventQueue::Wheel(w) => w.push(at, core),
+            EventQueue::Heap(h) => h.push(Reverse((at, core))),
+            EventQueue::Scan => {}
+        }
+    }
+
+    /// The raw minimum entry — possibly stale. `None` in scan mode.
+    fn peek(&mut self) -> Option<(Cycles, usize)> {
+        match self {
+            EventQueue::Wheel(w) => w.peek(),
+            EventQueue::Heap(h) => h.peek().map(|&Reverse(e)| e),
+            EventQueue::Scan => None,
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Cycles, usize)> {
+        match self {
+            EventQueue::Wheel(w) => w.pop(),
+            EventQueue::Heap(h) => h.pop().map(|Reverse(e)| e),
+            EventQueue::Scan => None,
+        }
+    }
+}
 
 /// A thread in transit to a core's migration inbox.
 #[derive(Debug, Clone, Copy)]
@@ -72,10 +122,10 @@ pub struct Engine {
     /// The event queue: `(wake_cycle, core)` entries, popped smallest
     /// first. Stale entries (superseded by an earlier wake-up) are
     /// discarded lazily when they surface.
-    events: BinaryHeap<Reverse<(Cycles, usize)>>,
-    /// The wake cycle each core is currently scheduled at (`None` while
-    /// parked). Used to recognise stale heap entries.
-    sched_wake: Vec<Option<Cycles>>,
+    events: EventQueue,
+    /// The wake cycle each core is currently scheduled at ([`PARKED`]
+    /// while parked). Used to recognise stale queue entries.
+    sched_wake: Vec<Cycles>,
     sched_stats: SchedStats,
 }
 
@@ -86,6 +136,11 @@ impl Engine {
         let n = machine.config().total_cores() as usize;
         let epoch_base = machine.snapshot_counters();
         let next_epoch = cfg.epoch_cycles;
+        let events = match cfg.event_core {
+            EventCoreKind::Wheel => EventQueue::Wheel(TimingWheel::new()),
+            EventCoreKind::Heap => EventQueue::Heap(BinaryHeap::new()),
+            EventCoreKind::CycleBox => EventQueue::Scan,
+        };
         Self {
             machine,
             cfg,
@@ -99,8 +154,8 @@ impl Engine {
             total_ops: 0,
             next_epoch,
             epoch_base,
-            events: BinaryHeap::new(),
-            sched_wake: vec![None; n],
+            events,
+            sched_wake: vec![PARKED; n],
             sched_stats: SchedStats::default(),
         }
     }
@@ -201,9 +256,18 @@ impl Engine {
         self.cores.iter().map(|c| c.clock).min().unwrap_or(0)
     }
 
-    /// Scheduler statistics: events processed, parked-core wake-ups, etc.
+    /// Scheduler statistics: events processed, parked-core wake-ups, and —
+    /// when the timing-wheel event core is active — wheel telemetry.
     pub fn sched_stats(&self) -> SchedStats {
-        self.sched_stats
+        let mut s = self.sched_stats;
+        if let EventQueue::Wheel(w) = &self.events {
+            let ws = w.stats();
+            s.wheel_occupancy_hwm = ws.occupancy_hwm;
+            s.wheel_cascades = ws.cascades;
+            s.wheel_overflows = ws.overflow_inserts;
+            s.wheel_max_batch = ws.max_batch;
+        }
+        s
     }
 
     /// Memory-system totals of the underlying machine: coherence-directory
@@ -217,14 +281,7 @@ impl Engine {
 
     /// Runs until every core's clock reaches `limit` (or all threads exit).
     pub fn run_until_cycles(&mut self, limit: Cycles) {
-        self.prime_event_queue();
-        while self.live_threads > 0 {
-            let Some((wake, core)) = self.pop_event(limit) else {
-                break;
-            };
-            self.dispatch(core, wake);
-            self.maybe_epoch(limit);
-        }
+        self.run_loop(limit, u64::MAX);
         // Cores that are still parked were idle for the rest of the run.
         let settle_to = if self.live_threads == 0 {
             self.max_clock().min(limit)
@@ -237,17 +294,118 @@ impl Engine {
     /// Runs until `n` additional operations have completed (or all threads
     /// exit).
     pub fn run_until_ops(&mut self, n: u64) {
-        let target = self.total_ops + n;
-        self.prime_event_queue();
-        while self.total_ops < target && self.live_threads > 0 {
-            let Some((wake, core)) = self.pop_event(Cycles::MAX) else {
-                break;
-            };
-            self.dispatch(core, wake);
-            self.maybe_epoch(Cycles::MAX);
-        }
+        let target = self.total_ops.saturating_add(n);
+        self.run_loop(Cycles::MAX, target);
         let settle_to = self.max_clock();
         self.settle_idle_cores(settle_to);
+    }
+
+    /// The main loop: dispatches events strictly before `limit` until
+    /// `ops_target` operations have completed or every thread exits.
+    fn run_loop(&mut self, limit: Cycles, ops_target: u64) {
+        match self.cfg.event_core {
+            EventCoreKind::Wheel => self.run_loop_wheel(limit, ops_target),
+            EventCoreKind::Heap | EventCoreKind::CycleBox => {
+                self.run_loop_classic(limit, ops_target)
+            }
+        }
+    }
+
+    /// The pre-wheel loop shape, kept verbatim for the heap baseline and
+    /// the cycle box: pop → dispatch → epoch check, one queue round-trip
+    /// per event.
+    fn run_loop_classic(&mut self, limit: Cycles, ops_target: u64) {
+        self.prime_event_queue();
+        while self.live_threads > 0 && self.total_ops < ops_target {
+            let Some((wake, core)) = self.pop_event(limit) else {
+                break;
+            };
+            match self.dispatch(core, wake) {
+                Some(next) => self.wake_core(core, next),
+                None => self.sched_stats.parks += 1,
+            }
+            self.maybe_epoch(limit);
+        }
+    }
+
+    /// The wheel loop: identical dispatch order to the classic loop with
+    /// two structural savings, both order-preserving.
+    ///
+    /// 1. The per-event epoch check costs one integer compare against the
+    ///    already-peeked frontier instead of a second queue peek: the old
+    ///    `maybe_epoch` after dispatch N and this loop's check before pop
+    ///    N+1 see the same frontier and the same engine state.
+    /// 2. *Run-ahead*: when a dispatched core's next wake is provably the
+    ///    global minimum — it precedes the raw queue head (a lower bound
+    ///    on every valid entry), the next epoch boundary, and the run
+    ///    limit — the engine dispatches it directly, skipping the
+    ///    push/pop round-trip whose outcome is already known.
+    fn run_loop_wheel(&mut self, limit: Cycles, ops_target: u64) {
+        self.prime_event_queue();
+        if self.live_threads == 0 || self.total_ops >= ops_target {
+            return;
+        }
+        let mut first = true;
+        loop {
+            let head = self.next_valid_event();
+            // The post-dispatch epoch check of the classic loop, moved to
+            // just before the next pop (no engine state changes between
+            // those two points). Never fires before the first dispatch.
+            if !first {
+                if let Some((frontier, _)) = head {
+                    if frontier >= self.next_epoch {
+                        // Catch-up inserts only events past the frontier
+                        // and never re-wakes the head's core earlier, so
+                        // `head` stays the minimum — no re-peek needed.
+                        self.catch_up_epochs(frontier, limit);
+                    }
+                }
+            }
+            first = false;
+            if self.live_threads == 0 || self.total_ops >= ops_target {
+                return;
+            }
+            let Some((wake, core)) = head else {
+                return;
+            };
+            if wake >= limit {
+                return;
+            }
+            self.take_event(wake, core);
+            let mut wake = wake;
+            loop {
+                let Some(next) = self.dispatch(core, wake) else {
+                    self.sched_stats.parks += 1;
+                    break;
+                };
+                // A self-wake during dispatch (a same-core lock hand-off)
+                // re-armed the core already; merge via the normal path.
+                if self.sched_wake[core] != PARKED {
+                    self.wake_core(core, next);
+                    break;
+                }
+                if next < self.next_epoch
+                    && next < limit
+                    && self.total_ops < ops_target
+                    && self.live_threads > 0
+                {
+                    let is_min = match self.events.peek() {
+                        None => true,
+                        Some(raw_head) => (next, core) < raw_head,
+                    };
+                    if is_min {
+                        // Both the epoch check (frontier < next_epoch) and
+                        // the pop (this entry is the minimum) are decided;
+                        // dispatch again without touching the queue.
+                        self.sched_stats.events_processed += 1;
+                        wake = next;
+                        continue;
+                    }
+                }
+                self.wake_core(core, next);
+                break;
+            }
+        }
     }
 
     /// Runs a measurement window of `cycles` cycles starting at the current
@@ -292,12 +450,11 @@ impl Engine {
     /// already scheduled to act at or before `at` is left alone.
     fn wake_core(&mut self, core: usize, at: Cycles) {
         let at = at.max(self.cores[core].clock);
-        match self.sched_wake[core] {
-            Some(pending) if pending <= at => {}
-            _ => {
-                self.sched_wake[core] = Some(at);
-                self.events.push(Reverse((at, core)));
-            }
+        // A parked core's sentinel compares above every real cycle, so one
+        // compare covers both "parked" and "pending but later".
+        if at < self.sched_wake[core] {
+            self.sched_wake[core] = at;
+            self.events.push(at, core);
         }
     }
 
@@ -328,46 +485,64 @@ impl Engine {
         }
     }
 
-    /// Pops the next valid event strictly before `limit`, discarding stale
-    /// entries. Events at or past `limit` are left in the heap for a later
-    /// run.
-    fn pop_event(&mut self, limit: Cycles) -> Option<(Cycles, usize)> {
-        loop {
-            let &Reverse((wake, core)) = self.events.peek()?;
-            if self.sched_wake[core] != Some(wake) {
-                self.events.pop();
-                self.sched_stats.stale_events += 1;
-                continue;
-            }
-            if wake >= limit {
-                return None;
-            }
-            self.events.pop();
-            self.sched_wake[core] = None;
-            self.sched_stats.events_processed += 1;
-            return Some((wake, core));
+    /// The next valid pending event — the single validity path shared by
+    /// `pop_event`, `peek_valid_wake` and the wheel loop. In the queued
+    /// modes this peeks the queue and lazily discards stale entries
+    /// (superseded by an earlier re-wake); in cycle-box mode it scans
+    /// `sched_wake` directly, so nothing is ever stale. The entry is not
+    /// consumed: pair with [`Engine::take_event`] to dispatch it.
+    fn next_valid_event(&mut self) -> Option<(Cycles, usize)> {
+        if matches!(self.events, EventQueue::Scan) {
+            return self
+                .sched_wake
+                .iter()
+                .enumerate()
+                .filter(|&(_, &wake)| wake != PARKED)
+                .map(|(core, &wake)| (wake, core))
+                .min();
         }
-    }
-
-    /// The wake cycle of the next valid pending event, discarding stale
-    /// entries. This is the frontier the epoch gate compares against:
-    /// parked cores are conceptually *at* the frontier, so they never hold
-    /// an epoch back.
-    fn peek_valid_wake(&mut self) -> Option<Cycles> {
         loop {
-            let &Reverse((wake, core)) = self.events.peek()?;
-            if self.sched_wake[core] == Some(wake) {
-                return Some(wake);
+            let (wake, core) = self.events.peek()?;
+            if self.sched_wake[core] == wake {
+                return Some((wake, core));
             }
             self.events.pop();
             self.sched_stats.stale_events += 1;
         }
     }
 
+    /// Consumes the event returned by [`Engine::next_valid_event`].
+    fn take_event(&mut self, wake: Cycles, core: usize) {
+        if !matches!(self.events, EventQueue::Scan) {
+            let popped = self.events.pop();
+            debug_assert_eq!(popped, Some((wake, core)));
+        }
+        self.sched_wake[core] = PARKED;
+        self.sched_stats.events_processed += 1;
+    }
+
+    /// Pops the next valid event strictly before `limit`. Events at or
+    /// past `limit` are left pending for a later run.
+    fn pop_event(&mut self, limit: Cycles) -> Option<(Cycles, usize)> {
+        let (wake, core) = self.next_valid_event()?;
+        if wake >= limit {
+            return None;
+        }
+        self.take_event(wake, core);
+        Some((wake, core))
+    }
+
+    /// The wake cycle of the next valid pending event. This is the
+    /// frontier the epoch gate compares against: parked cores are
+    /// conceptually *at* the frontier, so they never hold an epoch back.
+    fn peek_valid_wake(&mut self) -> Option<Cycles> {
+        self.next_valid_event().map(|(wake, _)| wake)
+    }
+
     /// Processes one event: advances a woken parked core's clock (crediting
-    /// the gap as idle time), steps the core once, and re-schedules it at
-    /// the next wake time `step_core` reports.
-    fn dispatch(&mut self, core_idx: usize, wake: Cycles) {
+    /// the gap as idle time), steps the core once, and returns the cycle at
+    /// which it next needs to run (`None` parks it). The caller re-queues.
+    fn dispatch(&mut self, core_idx: usize, wake: Cycles) -> Option<Cycles> {
         if wake > self.cores[core_idx].clock {
             // A wake cycle ahead of the core's clock means the core had
             // nothing runnable and was woken by an arrival (migration,
@@ -386,11 +561,7 @@ impl Engine {
             // arrival that is ready now).
             self.sched_stats.park_wakeups += 1;
         }
-        if let Some(next) = self.step_core(core_idx) {
-            self.wake_core(core_idx, next);
-        } else {
-            self.sched_stats.parks += 1;
-        }
+        self.step_core(core_idx)
     }
 
     /// Fast-forwards every core that has nothing runnable to `up_to`,
@@ -403,10 +574,7 @@ impl Engine {
         for i in 0..self.cores.len() {
             let c = &self.cores[i];
             if c.current.is_none() && c.run_queue.is_empty() && c.clock < up_to {
-                let target = match self.sched_wake[i] {
-                    Some(wake) => up_to.min(wake),
-                    None => up_to,
-                };
+                let target = up_to.min(self.sched_wake[i]);
                 if target > c.clock {
                     let idle = target - c.clock;
                     self.cores[i].clock = target;
@@ -423,59 +591,70 @@ impl Engine {
     fn step_core(&mut self, core_idx: usize) -> Option<Cycles> {
         let core_id = core_idx as CoreId;
         self.machine.set_time_hint(self.cores[core_idx].clock);
-        self.accept_inbox(core_idx);
+        if !self.cores[core_idx].inbox.is_empty() {
+            self.accept_inbox(core_idx);
+        }
 
-        // Pick a thread to run if the core has none.
-        if self.cores[core_idx].current.is_none() {
-            if let Some(next) = self.cores[core_idx].run_queue.pop_front() {
-                self.cores[core_idx].current = Some(next);
-                self.cores[core_idx].quantum_used = 0;
-            } else {
-                // Nothing runnable: wait for the inbox or park.
-                return self.core_next_wake(core_idx);
+        // One borrow of the core state covers thread pick and quantum
+        // rotation (this is the hottest scaffolding in the run loop).
+        let (tid, before) = {
+            let core = &mut self.cores[core_idx];
+            // Pick a thread to run if the core has none.
+            match core.current {
+                Some(_) => {}
+                None => {
+                    if let Some(next) = core.run_queue.pop_front() {
+                        core.current = Some(next);
+                        core.quantum_used = 0;
+                    } else {
+                        // Nothing runnable: wait for the inbox or park.
+                        return self.core_next_wake(core_idx);
+                    }
+                }
             }
-        }
 
-        // Round-robin rotation when the quantum is exhausted.
-        if self.cores[core_idx].quantum_used >= self.cfg.quantum_cycles
-            && !self.cores[core_idx].run_queue.is_empty()
-        {
-            let cur = self.cores[core_idx].current.take().expect("current thread");
-            self.cores[core_idx].run_queue.push_back(cur);
-            let next = self.cores[core_idx]
-                .run_queue
-                .pop_front()
-                .expect("non-empty queue");
-            self.cores[core_idx].current = Some(next);
-            self.cores[core_idx].quantum_used = 0;
-        }
+            // Round-robin rotation when the quantum is exhausted.
+            if core.quantum_used >= self.cfg.quantum_cycles && !core.run_queue.is_empty() {
+                let cur = core.current.take().expect("current thread");
+                core.run_queue.push_back(cur);
+                let next = core.run_queue.pop_front().expect("non-empty queue");
+                core.current = Some(next);
+                core.quantum_used = 0;
+            }
 
-        let tid = self.cores[core_idx].current.expect("current thread");
-        let before = self.cores[core_idx].clock;
+            (core.current.expect("current thread"), core.clock)
+        };
 
         // Fetch the next action: deferred (lock retries, resumptions) first.
-        let action = if let Some(a) = self.threads[tid].deferred.pop_front() {
-            a
-        } else {
-            let ctx = BehaviourCtx {
-                thread: tid,
-                core: core_id,
-                home_core: self.threads[tid].home_core,
-                now: before,
-                ops_completed: self.threads[tid].stats.ops_completed,
+        let action = {
+            let thread = &mut self.threads[tid];
+            let action = if let Some(a) = thread.deferred.pop_front() {
+                a
+            } else {
+                let ctx = BehaviourCtx {
+                    thread: tid,
+                    core: core_id,
+                    home_core: thread.home_core,
+                    now: before,
+                    ops_completed: thread.stats.ops_completed,
+                };
+                thread.behaviour.next_action(&ctx)
             };
-            self.threads[tid].behaviour.next_action(&ctx)
+            thread.stats.actions_executed += 1;
+            action
         };
-        self.threads[tid].stats.actions_executed += 1;
         self.execute(core_idx, tid, action);
 
-        let elapsed = self.cores[core_idx].clock - before;
-        self.cores[core_idx].quantum_used += elapsed;
+        let core = &mut self.cores[core_idx];
+        core.quantum_used += core.clock - before;
         self.core_next_wake(core_idx)
     }
 
     /// Accepts migrated-in threads whose context transfer has completed.
     fn accept_inbox(&mut self, core_idx: usize) {
+        if self.cores[core_idx].inbox.is_empty() {
+            return;
+        }
         let core_id = core_idx as CoreId;
         let clock = self.cores[core_idx].clock;
         let mut arrived: Vec<ThreadId> = Vec::new();
@@ -762,33 +941,57 @@ impl Engine {
                 Some(frontier) if frontier >= self.next_epoch => {}
                 _ => return,
             }
-            if self.next_epoch > limit
-                && self
-                    .cores
-                    .iter()
-                    .any(|c| c.current.is_none() && c.run_queue.is_empty())
-            {
+            if !self.fire_one_epoch(limit) {
                 return;
             }
-            // Epoch boundaries are a wake-up source for idle accounting:
-            // bring every parked core's clock (and idle counter) up to the
-            // boundary so the policy's per-core deltas include their idle
-            // time.
-            self.settle_idle_cores(self.next_epoch.min(limit));
-            let snapshot = self.machine.snapshot_counters();
-            let deltas = snapshot.delta_since(&self.epoch_base);
-            let view = EpochView {
-                now: self.next_epoch,
-                machine: &self.machine,
-                deltas: &deltas,
-            };
-            let commands = self.policy.on_epoch(&view);
-            self.epoch_base = snapshot;
-            self.next_epoch += self.cfg.epoch_cycles;
-            for cmd in commands {
-                self.apply_command(cmd);
+        }
+    }
+
+    /// The wheel loop's epoch catch-up: the frontier was already peeked,
+    /// so boundaries fire against the passed value instead of re-peeking.
+    /// Epoch commands can only create events *past* the frontier (a
+    /// rehome's `ready_at` exceeds the involved cores' clocks, which are
+    /// at or past the frontier), so the frontier is constant across the
+    /// catch-up and re-peeking each iteration — what `maybe_epoch` does —
+    /// would observe the same value.
+    fn catch_up_epochs(&mut self, frontier: Cycles, limit: Cycles) {
+        while frontier >= self.next_epoch {
+            if !self.fire_one_epoch(limit) {
+                return;
             }
         }
+    }
+
+    /// Fires the boundary at `next_epoch`, unless `limit` gates it.
+    /// Returns whether it fired.
+    fn fire_one_epoch(&mut self, limit: Cycles) -> bool {
+        if self.next_epoch > limit
+            && self
+                .cores
+                .iter()
+                .any(|c| c.current.is_none() && c.run_queue.is_empty())
+        {
+            return false;
+        }
+        // Epoch boundaries are a wake-up source for idle accounting:
+        // bring every parked core's clock (and idle counter) up to the
+        // boundary so the policy's per-core deltas include their idle
+        // time.
+        self.settle_idle_cores(self.next_epoch.min(limit));
+        let snapshot = self.machine.snapshot_counters();
+        let deltas = snapshot.delta_since(&self.epoch_base);
+        let view = EpochView {
+            now: self.next_epoch,
+            machine: &self.machine,
+            deltas: &deltas,
+        };
+        let commands = self.policy.on_epoch(&view);
+        self.epoch_base = snapshot;
+        self.next_epoch += self.cfg.epoch_cycles;
+        for cmd in commands {
+            self.apply_command(cmd);
+        }
+        true
     }
 
     fn apply_command(&mut self, cmd: PolicyCommand) {

@@ -46,13 +46,14 @@ pub mod stats;
 pub mod sync;
 pub mod thread;
 pub mod types;
+pub mod wheel;
 
 pub use action::{Action, ObjectDescriptor};
 pub use behaviour::{
     BehaviourCtx, FixedBehaviour, OpBehaviour, OpBuilder, OpGenerator, RepeatBehaviour,
     ThreadBehaviour,
 };
-pub use config::RuntimeConfig;
+pub use config::{EventCoreKind, RuntimeConfig};
 pub use engine::Engine;
 pub use object_index::ObjectIndex;
 pub use policy::{
@@ -62,6 +63,7 @@ pub use stats::{RunWindow, SchedStats};
 pub use sync::{LockError, LockInfo, LockRegistry};
 pub use thread::{OpRecord, Thread, ThreadState, ThreadStats};
 pub use types::{CoreId, Cycles, DenseObjectId, LockId, ObjectId, ThreadId};
+pub use wheel::{TimingWheel, WheelStats, WHEEL_HORIZON};
 
 // Re-exported for convenience: policies receive these simulator types in
 // their callbacks.

@@ -1,0 +1,519 @@
+//! Hierarchical timing wheel: the engine's event queue.
+//!
+//! The engine's event horizon is short and dense — a busy core re-arms a
+//! few hundred cycles ahead, migrations land ~1000 cycles out, epochs and
+//! quanta a few tens of thousands — exactly the regime where a bucketed
+//! wheel beats a comparison heap: insertion is O(1) bucket addressing
+//! instead of O(log n) sift, and finding the next event is a bitmap scan
+//! that covers 64 slots per machine word.
+//!
+//! The levels are deliberately *asymmetric*: level 0 spans a 4096-cycle
+//! window — wide enough that the common re-arms above (action costs,
+//! lock hand-offs, migration round-trips) file straight into their final
+//! slot and never cascade — while two coarser 256-slot levels extend the
+//! span to [`WHEEL_HORIZON`] cycles for quantum- and epoch-scale wakes.
+//! Level-0 slots hold an 8-cycle *chunk* rather than a single cycle:
+//! drained chunks are sorted before dispatch, so ordering is still exact
+//! while the slot array is an eighth the size and stays hot in host
+//! cache. Entries beyond the horizon wait in an ordered overflow set and
+//! are folded back in when the cursor reaches them. Each occupied
+//! level-0 slot is drained into a *staged batch*, sorted by
+//! `(cycle, core)` — so same-cycle events dispatch back-to-back without
+//! re-touching the wheel between pops, and the pop order is exactly the
+//! ascending `(cycle, core)` order the engine's original `BinaryHeap`
+//! produced.
+//!
+//! The staged batch doubles as the wheel's front buffer: `peek` may
+//! advance the internal cursor ahead of what the caller actually pops
+//! (the engine peeks the frontier for its epoch gate), and a later push
+//! at or below the cursor — legal as long as it is not below the last
+//! popped entry — is merge-inserted into the batch at its correct
+//! `(cycle, core)` position instead of being lost behind the cursor.
+
+use std::collections::BTreeSet;
+
+use crate::types::Cycles;
+
+/// Number of cascading levels.
+const LEVELS: usize = 3;
+/// Bits of cycle span per level (level 0 first).
+const BITS: [u32; LEVELS] = [12, 8, 8];
+/// Shift from a cycle to a level's span position.
+const SHIFTS: [u32; LEVELS] = [0, BITS[0], BITS[0] + BITS[1]];
+/// Cycles per level-0 slot (as bits). Slots hold a *chunk* of
+/// `1 << GRAN_BITS` consecutive cycles rather than a single cycle: the
+/// staged batch is sorted anyway, so exact `(cycle, core)` order is
+/// preserved, while the slot array shrinks by the same factor and stays
+/// resident in host cache.
+const GRAN_BITS: u32 = 3;
+/// Low-bit mask of a level-0 chunk.
+const GRAN_MASK: Cycles = (1 << GRAN_BITS) - 1;
+/// Shift from a cycle to a level's slot index.
+const SLOT_SHIFTS: [u32; LEVELS] = [GRAN_BITS, SHIFTS[1], SHIFTS[2]];
+
+/// Total span the wheel levels cover ahead of the cursor; farther entries
+/// go to the ordered overflow set.
+pub const WHEEL_HORIZON: Cycles = 1 << (BITS[0] + BITS[1] + BITS[2]);
+
+/// A queued event: `(wake cycle, core id)`, ordered lexicographically.
+pub type WheelEntry = (Cycles, usize);
+
+/// Telemetry counters of the wheel, surfaced through
+/// [`SchedStats`](crate::stats::SchedStats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WheelStats {
+    /// High-water mark of events resident in the wheel at once.
+    pub occupancy_hwm: u64,
+    /// Entries re-filed to a finer level (or staged) when the cursor
+    /// crossed into a coarse slot or reached the overflow set.
+    pub cascades: u64,
+    /// Insertions beyond the wheel horizon (into the overflow set).
+    pub overflow_inserts: u64,
+    /// Largest dispatch batch staged at once.
+    pub max_batch: u64,
+}
+
+/// One wheel level: an array of buckets plus an occupancy bitmap.
+struct Level {
+    slots: Box<[Vec<WheelEntry>]>,
+    occupied: Box<[u64]>,
+    /// Slot-index mask (`slots.len() - 1`).
+    mask: u64,
+}
+
+impl Level {
+    fn new(bits: u32) -> Self {
+        let slots = 1usize << bits;
+        Self {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            occupied: vec![0u64; slots / 64].into_boxed_slice(),
+            mask: slots as u64 - 1,
+        }
+    }
+
+    #[inline]
+    fn set_bit(&mut self, idx: usize) {
+        self.occupied[idx / 64] |= 1 << (idx % 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, idx: usize) {
+        self.occupied[idx / 64] &= !(1 << (idx % 64));
+    }
+
+    /// The first occupied slot at index `from` or later, if any.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        let words = self.occupied.len();
+        let mut w = from / 64;
+        if w >= words {
+            return None;
+        }
+        let mut word = self.occupied[w] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= words {
+                return None;
+            }
+            word = self.occupied[w];
+        }
+    }
+}
+
+/// The hierarchical timing wheel.
+///
+/// A min-priority queue of [`WheelEntry`] values with the contract that
+/// no entry is ever pushed below the last *popped* entry's cycle (virtual
+/// time does not run backwards). Pops come out in ascending
+/// `(cycle, core)` order, identical to a `BinaryHeap<Reverse<_>>`.
+pub struct TimingWheel {
+    /// Scan cursor: wheel levels and the overflow set only hold entries
+    /// at cycles strictly greater than `now`; entries at or below it sit
+    /// in `staged`.
+    now: Cycles,
+    levels: [Level; LEVELS],
+    /// Entries beyond [`WHEEL_HORIZON`], ordered.
+    overflow: BTreeSet<WheelEntry>,
+    /// Entries in the levels plus the overflow set (excludes `staged`).
+    stored: usize,
+    /// The staged dispatch batch, sorted ascending by `(cycle, core)`;
+    /// `staged[..pos]` were already popped.
+    staged: Vec<WheelEntry>,
+    pos: usize,
+    stats: WheelStats,
+}
+
+impl Default for TimingWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimingWheel {
+    /// Creates an empty wheel with the cursor at the end of cycle 0's
+    /// chunk (the cursor always rests on a chunk-end boundary; entries at
+    /// or below it are staged directly).
+    pub fn new() -> Self {
+        Self {
+            now: GRAN_MASK,
+            levels: [
+                Level::new(BITS[0] - GRAN_BITS),
+                Level::new(BITS[1]),
+                Level::new(BITS[2]),
+            ],
+            overflow: BTreeSet::new(),
+            stored: 0,
+            staged: Vec::new(),
+            pos: 0,
+            stats: WheelStats::default(),
+        }
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.stored + (self.staged.len() - self.pos)
+    }
+
+    /// Whether the wheel holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Telemetry counters.
+    pub fn stats(&self) -> WheelStats {
+        self.stats
+    }
+
+    /// Queues `(cycle, core)`. `cycle` must not precede the last popped
+    /// entry's cycle.
+    #[inline]
+    pub fn push(&mut self, cycle: Cycles, core: usize) {
+        if cycle > self.now {
+            self.place(cycle, core);
+            self.stored += 1;
+        } else if self.pos < self.staged.len() {
+            // At or behind the cursor while a batch is staged: merge into
+            // the batch at its `(cycle, core)` position. Entries before
+            // `pos` were already popped and order below the new entry, so
+            // the insert position is never behind `pos`.
+            let i = self.pos + self.staged[self.pos..].partition_point(|&e| e < (cycle, core));
+            self.staged.insert(i, (cycle, core));
+            self.note_batch();
+        } else {
+            // Behind the cursor with the batch exhausted: restart it.
+            self.staged.clear();
+            self.pos = 0;
+            self.staged.push((cycle, core));
+            self.note_batch();
+        }
+        let len = self.len() as u64;
+        if len > self.stats.occupancy_hwm {
+            self.stats.occupancy_hwm = len;
+        }
+    }
+
+    /// The minimum entry, if any. May advance the internal cursor (and
+    /// cascade coarse slots) to find it; the entry is not removed.
+    #[inline]
+    pub fn peek(&mut self) -> Option<WheelEntry> {
+        if self.ensure_batch() {
+            Some(self.staged[self.pos])
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns the minimum entry, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<WheelEntry> {
+        if self.ensure_batch() {
+            let e = self.staged[self.pos];
+            self.pos += 1;
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    fn note_batch(&mut self) {
+        let n = (self.staged.len() - self.pos) as u64;
+        if n > self.stats.max_batch {
+            self.stats.max_batch = n;
+        }
+    }
+
+    /// Files `(cycle, core)` into the level whose granularity matches how
+    /// far past the cursor it wakes, or into the overflow set. Requires
+    /// `cycle > self.now`.
+    #[inline]
+    fn place(&mut self, cycle: Cycles, core: usize) {
+        debug_assert!(cycle > self.now);
+        for (l, level) in self.levels.iter_mut().enumerate() {
+            let parent_shift = SHIFTS[l] + BITS[l];
+            if (cycle >> parent_shift) == (self.now >> parent_shift) {
+                let idx = ((cycle >> SLOT_SHIFTS[l]) & level.mask) as usize;
+                level.slots[idx].push((cycle, core));
+                level.set_bit(idx);
+                return;
+            }
+        }
+        self.overflow.insert((cycle, core));
+        self.stats.overflow_inserts += 1;
+    }
+
+    /// Re-files one cascaded entry: inside the cursor's chunk it joins the
+    /// batch being staged, otherwise it lands on a finer level.
+    fn file_or_stage(&mut self, cycle: Cycles, core: usize) {
+        self.stats.cascades += 1;
+        if cycle <= self.now {
+            self.staged.push((cycle, core));
+        } else {
+            self.place(cycle, core);
+            self.stored += 1;
+        }
+    }
+
+    /// Makes `staged[pos]` the minimum entry; returns `false` if empty.
+    #[inline]
+    fn ensure_batch(&mut self) -> bool {
+        loop {
+            if self.pos < self.staged.len() {
+                return true;
+            }
+            if self.stored == 0 {
+                return false;
+            }
+            // Next occupied level-0 chunk inside the cursor's window. The
+            // cursor rests on a chunk-end boundary and its own chunk is
+            // always already drained: level-0 entries sit in strictly
+            // later chunks of the window.
+            let mask0 = self.levels[0].mask;
+            let from = ((self.now >> GRAN_BITS) & mask0) as usize + 1;
+            if let Some(bit) = self.levels[0].next_occupied(from) {
+                let window = self.now & !((1u64 << BITS[0]) - 1);
+                self.now = window | ((bit as u64) << GRAN_BITS) | GRAN_MASK;
+                self.staged.clear();
+                self.pos = 0;
+                let slot = &mut self.levels[0].slots[bit];
+                self.stored -= slot.len();
+                self.staged.append(slot);
+                self.levels[0].clear_bit(bit);
+                // A chunk covers a handful of cycles, so the batch needs
+                // ordering by `(cycle, core)` (nothing to order for the
+                // common single-entry slot).
+                if self.staged.len() > 1 {
+                    self.staged.sort_unstable();
+                }
+                self.note_batch();
+                return true;
+            }
+            if !self.advance_coarse() {
+                return false;
+            }
+        }
+    }
+
+    /// Advances the cursor to the next occupied coarse slot (cascading
+    /// its entries down) or to the earliest overflow window (folding it
+    /// back into the levels). Returns `false` when nothing is left.
+    fn advance_coarse(&mut self) -> bool {
+        debug_assert_eq!(self.pos, self.staged.len());
+        self.staged.clear();
+        self.pos = 0;
+        for l in 1..LEVELS {
+            let shift = SHIFTS[l];
+            let cur = ((self.now >> shift) & self.levels[l].mask) as usize;
+            if let Some(idx) = self.levels[l].next_occupied(cur + 1) {
+                let parent = self.now & !((1u64 << (shift + BITS[l])) - 1);
+                // Park the cursor at the end of the slot's first chunk so
+                // `file_or_stage` stages exactly the entries the level-0
+                // scan can no longer reach.
+                self.now = parent | ((idx as u64) << shift) | GRAN_MASK;
+                let entries = std::mem::take(&mut self.levels[l].slots[idx]);
+                self.levels[l].clear_bit(idx);
+                self.stored -= entries.len();
+                for (cycle, core) in entries {
+                    self.file_or_stage(cycle, core);
+                }
+                self.finish_stage();
+                return true;
+            }
+        }
+        if let Some(&(cycle, _)) = self.overflow.first() {
+            self.now = cycle | GRAN_MASK;
+            let hshift = SHIFTS[LEVELS - 1] + BITS[LEVELS - 1];
+            // Fold back everything in the cursor's new horizon window. In
+            // the top window of the cycle space there is no next boundary
+            // (it would wrap past `u64::MAX`): fold the whole set.
+            let window = cycle >> hshift;
+            let keep = if window < u64::MAX >> hshift {
+                self.overflow.split_off(&((window + 1) << hshift, 0))
+            } else {
+                BTreeSet::new()
+            };
+            let fold = std::mem::replace(&mut self.overflow, keep);
+            self.stored -= fold.len();
+            for (c, core) in fold {
+                self.file_or_stage(c, core);
+            }
+            self.finish_stage();
+            return true;
+        }
+        false
+    }
+
+    /// Orders entries staged directly by a cascade and records the batch.
+    fn finish_stage(&mut self) {
+        if !self.staged.is_empty() {
+            self.staged.sort_unstable();
+            self.note_batch();
+        }
+    }
+}
+
+impl std::fmt::Debug for TimingWheel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimingWheel")
+            .field("now", &self.now)
+            .field("len", &self.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Spans of the three levels, used by the boundary tests below.
+    const L0_SPAN: u64 = 1 << BITS[0];
+    const L1_SPAN: u64 = 1 << (BITS[0] + BITS[1]);
+
+    fn drain(w: &mut TimingWheel) -> Vec<WheelEntry> {
+        let mut got = Vec::new();
+        while let Some(e) = w.pop() {
+            got.push(e);
+        }
+        assert!(w.is_empty());
+        got
+    }
+
+    #[test]
+    fn pops_come_out_in_cycle_core_order() {
+        let mut w = TimingWheel::new();
+        for &(c, id) in &[(500u64, 3usize), (10, 1), (500, 0), (70_000, 2), (10, 0)] {
+            w.push(c, id);
+        }
+        assert_eq!(w.len(), 5);
+        assert_eq!(
+            drain(&mut w),
+            vec![(10, 0), (10, 1), (500, 0), (500, 3), (70_000, 2)]
+        );
+    }
+
+    #[test]
+    fn entries_exactly_on_slot_boundaries_are_not_lost() {
+        // Multiples of a level span land exactly on a coarse slot start;
+        // the cascade must stage them rather than re-file them behind the
+        // cursor.
+        let mut w = TimingWheel::new();
+        for &c in &[
+            L0_SPAN,
+            2 * L0_SPAN,
+            L1_SPAN,
+            L1_SPAN + L0_SPAN,
+            WHEEL_HORIZON,
+        ] {
+            w.push(c, 0);
+            w.push(c, 1);
+        }
+        let got = drain(&mut w);
+        assert_eq!(
+            got,
+            vec![
+                (L0_SPAN, 0),
+                (L0_SPAN, 1),
+                (2 * L0_SPAN, 0),
+                (2 * L0_SPAN, 1),
+                (L1_SPAN, 0),
+                (L1_SPAN, 1),
+                (L1_SPAN + L0_SPAN, 0),
+                (L1_SPAN + L0_SPAN, 1),
+                (WHEEL_HORIZON, 0),
+                (WHEEL_HORIZON, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn far_entries_overflow_and_come_back() {
+        let mut w = TimingWheel::new();
+        w.push(WHEEL_HORIZON * 3 + 7, 1);
+        w.push(WHEEL_HORIZON * 3, 2);
+        w.push(5, 0);
+        assert_eq!(w.stats().overflow_inserts, 2);
+        assert_eq!(w.pop(), Some((5, 0)));
+        assert_eq!(w.pop(), Some((WHEEL_HORIZON * 3, 2)));
+        assert_eq!(w.pop(), Some((WHEEL_HORIZON * 3 + 7, 1)));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn push_below_cursor_after_peek_is_not_lost() {
+        let mut w = TimingWheel::new();
+        w.push(1000, 4);
+        assert_eq!(w.peek(), Some((1000, 4))); // cursor advances to 1000
+        w.push(100, 2); // below the cursor, above the last pop (none yet)
+        w.push(1000, 1); // merges ahead of (1000, 4)
+        assert_eq!(drain(&mut w), vec![(100, 2), (1000, 1), (1000, 4)]);
+    }
+
+    #[test]
+    fn same_cycle_storm_is_one_batch() {
+        let mut w = TimingWheel::new();
+        for core in (0..16).rev() {
+            w.push(L0_SPAN, core);
+        }
+        let got = drain(&mut w);
+        assert_eq!(got.len(), 16);
+        for (i, &(c, core)) in got.iter().enumerate() {
+            assert_eq!((c, core), (L0_SPAN, i));
+        }
+        assert_eq!(w.stats().max_batch, 16);
+    }
+
+    #[test]
+    fn entries_in_one_chunk_pop_in_cycle_order() {
+        // Level-0 slots cover 8-cycle chunks; the staged sort must restore
+        // exact `(cycle, core)` order within a chunk.
+        let mut w = TimingWheel::new();
+        for &(c, id) in &[(13u64, 0usize), (9, 1), (11, 0), (9, 0), (15, 3)] {
+            w.push(c, id);
+        }
+        assert_eq!(
+            drain(&mut w),
+            vec![(9, 0), (9, 1), (11, 0), (13, 0), (15, 3)]
+        );
+    }
+
+    #[test]
+    fn common_rearm_distances_rarely_cascade() {
+        // The point of the asymmetric geometry: action-cost-scale re-arms
+        // file straight into level 0 and only cascade when they cross a
+        // level-0 window boundary — once per window, not once per event.
+        let mut w = TimingWheel::new();
+        let mut now = 0u64;
+        for i in 0..10_000u64 {
+            w.push(now + 20 + (i * 37) % 180, (i % 16) as usize);
+            now = w.pop().unwrap().0;
+        }
+        assert!(
+            w.stats().cascades < 1_000,
+            "cascades: {}",
+            w.stats().cascades
+        );
+        assert_eq!(w.stats().overflow_inserts, 0);
+    }
+}

@@ -30,27 +30,55 @@ use crate::config::CacheGeometry;
 /// A cache-line address (byte address divided by the line size).
 pub type LineAddr = u64;
 
-/// Sentinel line address marking a slot as invalid. Real line addresses
-/// are byte addresses divided by the line size, so `u64::MAX` is
-/// unreachable.
-const EMPTY: LineAddr = LineAddr::MAX;
-
-/// One slot of the slab (16 bytes).
+/// One slot of the slab: the line address packed with its dirty bit and
+/// exclusivity hint into 8 bytes (`line << 2 | excl << 1 | dirty`). Line
+/// addresses are byte addresses divided by the line size, so the top two
+/// bits are always free, and the all-ones pattern is unreachable and
+/// marks a vacant slot. Halving the slot size halves the slab footprint,
+/// which keeps hot sets resident in the *host's* caches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Way {
-    line: LineAddr,
-    dirty: bool,
+struct Way(u64);
+
+impl Way {
+    const DIRTY: u64 = 0b01;
     /// Exclusivity hint maintained by [`crate::machine::Machine`]: set when
     /// this core is known to be the line's only holder, letting a write hit
     /// skip the coherence directory. Never affects replacement decisions.
-    excl: bool,
-}
+    const EXCL: u64 = 0b10;
+    const VACANT: Way = Way(u64::MAX);
 
-const VACANT: Way = Way {
-    line: EMPTY,
-    dirty: false,
-    excl: false,
-};
+    #[inline]
+    fn new(line: LineAddr, dirty: bool) -> Self {
+        Way(line << 2 | dirty as u64)
+    }
+
+    #[inline]
+    fn line(self) -> LineAddr {
+        self.0 >> 2
+    }
+
+    /// Whether this slot holds `line`. A vacant slot matches no real line
+    /// (its line bits decode above any byte-address / line-size value).
+    #[inline]
+    fn is(self, line: LineAddr) -> bool {
+        self.0 >> 2 == line
+    }
+
+    #[inline]
+    fn is_vacant(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    #[inline]
+    fn dirty(self) -> bool {
+        self.0 & Self::DIRTY != 0
+    }
+
+    #[inline]
+    fn excl(self) -> bool {
+        self.0 & Self::EXCL != 0
+    }
+}
 
 /// A single set-associative, write-back, LRU cache.
 #[derive(Debug, Clone)]
@@ -92,7 +120,7 @@ impl Cache {
         let ways = geometry.associativity as usize;
         let pow2 = sets.is_power_of_two();
         Self {
-            slab: vec![VACANT; sets * ways].into_boxed_slice(),
+            slab: vec![Way::VACANT; sets * ways].into_boxed_slice(),
             ways,
             sets,
             set_mask: sets as u64 - 1,
@@ -126,11 +154,11 @@ impl Cache {
     /// Position of `line` in its set's valid prefix, or `None`.
     #[inline]
     fn position(set: &[Way], line: LineAddr) -> Option<usize> {
-        for (i, w) in set.iter().enumerate() {
-            if w.line == line {
+        for (i, &w) in set.iter().enumerate() {
+            if w.is(line) {
                 return Some(i);
             }
-            if w.line == EMPTY {
+            if w.is_vacant() {
                 return None;
             }
         }
@@ -182,8 +210,8 @@ impl Cache {
         let set = self.set_slice_mut(line);
         let idx = Self::position(set, line)?;
         Self::move_to_front(set, idx);
-        set[0].dirty = true;
-        Some(set[0].excl)
+        set[0].0 |= Way::DIRTY;
+        Some(set[0].excl())
     }
 
     /// Marks a resident line dirty (a write hit). Returns `false` if the
@@ -192,7 +220,7 @@ impl Cache {
         let set = self.set_slice_mut(line);
         match Self::position(set, line) {
             Some(idx) => {
-                set[idx].dirty = true;
+                set[idx].0 |= Way::DIRTY;
                 true
             }
             None => false,
@@ -205,7 +233,7 @@ impl Cache {
         let set = self.set_slice_mut(line);
         match Self::position(set, line) {
             Some(idx) => {
-                set[idx].excl = true;
+                set[idx].0 |= Way::EXCL;
                 true
             }
             None => false,
@@ -216,7 +244,7 @@ impl Cache {
     pub fn clear_excl(&mut self, line: LineAddr) {
         let set = self.set_slice_mut(line);
         if let Some(idx) = Self::position(set, line) {
-            set[idx].excl = false;
+            set[idx].0 &= !Way::EXCL;
         }
     }
 
@@ -231,15 +259,14 @@ impl Cache {
 
         // One scan finds the line or the end of the valid prefix.
         let mut end = ways;
-        for (i, w) in set.iter().enumerate() {
-            if w.line == line {
-                let mut w = *w;
-                w.dirty |= dirty;
+        for (i, &w) in set.iter().enumerate() {
+            if w.is(line) {
+                let w = Way(w.0 | if dirty { Way::DIRTY } else { 0 });
                 set.copy_within(0..i, 1);
                 set[0] = w;
                 return None;
             }
-            if w.line == EMPTY {
+            if w.is_vacant() {
                 end = i;
                 break;
             }
@@ -251,8 +278,8 @@ impl Cache {
             let v = set[ways - 1];
             (
                 Some(Evicted {
-                    line: v.line,
-                    dirty: v.dirty,
+                    line: v.line(),
+                    dirty: v.dirty(),
                 }),
                 ways - 1,
             )
@@ -260,11 +287,7 @@ impl Cache {
             (None, end)
         };
         set.copy_within(0..shift, 1);
-        set[0] = Way {
-            line,
-            dirty,
-            excl: false,
-        };
+        set[0] = Way::new(line, dirty);
         if evicted.is_none() {
             self.resident += 1;
         }
@@ -276,23 +299,26 @@ impl Cache {
         let ways = self.ways;
         let set = self.set_slice_mut(line);
         let idx = Self::position(set, line)?;
-        let dirty = set[idx].dirty;
+        let dirty = set[idx].dirty();
         // Close the gap so the valid prefix stays dense and in order.
         set.copy_within(idx + 1..ways, idx);
-        set[ways - 1] = VACANT;
+        set[ways - 1] = Way::VACANT;
         self.resident -= 1;
         Some(dirty)
     }
 
     /// Removes every line from the cache.
     pub fn flush(&mut self) {
-        self.slab.fill(VACANT);
+        self.slab.fill(Way::VACANT);
         self.resident = 0;
     }
 
     /// Iterates over every resident line.
     pub fn lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.slab.iter().filter(|w| w.line != EMPTY).map(|w| w.line)
+        self.slab
+            .iter()
+            .filter(|w| !w.is_vacant())
+            .map(|w| w.line())
     }
 
     /// Occupancy as a fraction of capacity (0.0–1.0).

@@ -201,16 +201,23 @@ impl Machine {
         let l1_hit_cost = self.lat.config().l1_hit;
         let mut total = 0;
         let mut fast_hits = 0u64;
+        // Fast hits only need the *final* stream state written back; a run
+        // of hits is collapsed into one store, flushed before any slow-path
+        // line (whose stream detection reads the state of its predecessor).
+        let mut pending_stream: Option<LineAddr> = None;
         for line in first..=last {
             if kind == AccessKind::Read {
                 if self.l1[c].probe_and_touch(line) == Probe::Hit {
-                    self.streams[c] = StreamState {
-                        last_line: Some(line),
-                        last_was_far: false,
-                    };
+                    pending_stream = Some(line);
                     fast_hits += 1;
                     total += l1_hit_cost;
                 } else {
+                    if let Some(prev) = pending_stream.take() {
+                        self.streams[c] = StreamState {
+                            last_line: Some(prev),
+                            last_was_far: false,
+                        };
+                    }
                     // The L1 probe above already missed — enter the slow
                     // path directly rather than re-scanning the set.
                     let (cost, _) = self.access_line_slow(core, chip, line, kind);
@@ -220,6 +227,12 @@ impl Machine {
                 let (cost, _) = self.access_line_at(core, chip, line, kind);
                 total += cost;
             }
+        }
+        if let Some(prev) = pending_stream {
+            self.streams[c] = StreamState {
+                last_line: Some(prev),
+                last_was_far: false,
+            };
         }
         if fast_hits > 0 {
             let ctr = &mut self.counters[c];

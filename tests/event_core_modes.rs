@@ -1,0 +1,183 @@
+//! The three event cores ([`EventCoreKind`]) must be bit-identical: the
+//! timing wheel (default), the pre-refactor `BinaryHeap` queue, and the
+//! synchronous cycle box all drive the same dispatch order, so every
+//! machine counter and clock comes out the same.
+//!
+//! The saturated scenario and its golden fingerprint are copied from
+//! `tests/event_scheduler.rs` (which pins the default core); here the
+//! *other two* cores must reproduce the same pre-refactor fingerprint.
+
+use o2_suite::prelude::*;
+use o2_suite::runtime::{EventCoreKind, NullPolicy, RepeatBehaviour, StaticPolicy};
+use o2_suite::sim::ContentionModel;
+
+/// Folds every per-core counter of the machine plus the engine totals into
+/// one FNV-1a fingerprint, so "bit-for-bit identical" is one comparison.
+fn fingerprint(engine: &Engine) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(engine.total_ops());
+    mix(engine.max_clock());
+    mix(engine.min_clock());
+    mix(engine.locks().total_acquisitions());
+    mix(engine.locks().total_contention());
+    let n = engine.machine().config().total_cores();
+    for core in 0..n {
+        let c = engine.machine().counters(core);
+        for v in [
+            c.busy_cycles,
+            c.l1_hits,
+            c.l1_misses,
+            c.l2_hits,
+            c.l2_misses,
+            c.l3_hits,
+            c.l3_misses,
+            c.remote_cache_loads,
+            c.dram_loads,
+            c.invalidations_sent,
+            c.invalidations_received,
+            c.interconnect_messages,
+            c.migrations_in,
+            c.migrations_out,
+            c.operations_completed,
+        ] {
+            mix(v);
+        }
+        mix(engine.core_clock(core));
+    }
+    h
+}
+
+/// The saturated 16-core scenario of `tests/event_scheduler.rs`, with a
+/// selectable event core.
+fn saturated_engine(kind: EventCoreKind) -> Engine {
+    let machine = Machine::new(MachineConfig::amd16());
+    let mut cfg = RuntimeConfig::default().with_event_core(kind);
+    cfg.epoch_cycles = 100_000;
+    cfg.quantum_cycles = 10_000;
+    let mut policy = StaticPolicy::new();
+    for i in 0..8u64 {
+        policy.assign(0x1000 + i, ((i * 5) % 16) as u32);
+    }
+    let mut engine = Engine::new(machine, Box::new(policy), cfg);
+    let data = engine.machine_mut().memory_mut().alloc(1 << 20, 0);
+    let locks: Vec<_> = (0..8)
+        .map(|_| {
+            let r = engine.machine_mut().memory_mut().alloc(64, 1);
+            engine.register_lock(r.addr)
+        })
+        .collect();
+    for core in 0..16u32 {
+        let obj = 0x1000 + u64::from(core % 8);
+        let lock = locks[(core % 8) as usize];
+        let op = OpBuilder::annotated(obj)
+            .lock(lock)
+            .compute(300)
+            .read(data.addr + u64::from(core) * 4096, 1024)
+            .unlock(lock)
+            .finish();
+        engine.spawn(core, Box::new(RepeatBehaviour::new(op, None)));
+        engine.spawn(
+            core,
+            Box::new(RepeatBehaviour::new(
+                vec![Action::Compute(500), Action::Yield],
+                None,
+            )),
+        );
+    }
+    engine
+}
+
+/// Golden values captured from the pre-refactor engine (see
+/// `tests/event_scheduler.rs`, which asserts them for the default core).
+const PRE_REFACTOR_SATURATED_FINGERPRINT: u64 = 0x9d48_13c2_1de4_cda3;
+const PRE_REFACTOR_SATURATED_TOTAL_OPS: u64 = 28_864;
+
+#[test]
+fn heap_core_matches_pre_refactor_fingerprint() {
+    let mut engine = saturated_engine(EventCoreKind::Heap);
+    engine.run_until_cycles(1_500_000);
+    assert_eq!(engine.total_ops(), PRE_REFACTOR_SATURATED_TOTAL_OPS);
+    assert_eq!(fingerprint(&engine), PRE_REFACTOR_SATURATED_FINGERPRINT);
+}
+
+#[test]
+fn cycle_box_core_matches_pre_refactor_fingerprint() {
+    let mut engine = saturated_engine(EventCoreKind::CycleBox);
+    engine.run_until_cycles(1_500_000);
+    assert_eq!(engine.total_ops(), PRE_REFACTOR_SATURATED_TOTAL_OPS);
+    assert_eq!(fingerprint(&engine), PRE_REFACTOR_SATURATED_FINGERPRINT);
+}
+
+/// An idle-heavy blocking-lock scenario — parks, lock hand-off wakeups and
+/// long idle gaps — run under all three cores; fingerprints must agree.
+fn convoy_engine(kind: EventCoreKind) -> Engine {
+    let mut cfg = MachineConfig::amd16();
+    cfg.contention = ContentionModel::None;
+    let mut engine = Engine::new(
+        Machine::new(cfg),
+        Box::new(NullPolicy),
+        RuntimeConfig::default()
+            .with_blocking_locks()
+            .with_event_core(kind),
+    );
+    let word = engine.machine_mut().memory_mut().alloc(64, 9);
+    let lock = engine.register_lock(word.addr);
+    for core in 0..16u32 {
+        let op = OpBuilder::annotated(0x2000 + u64::from(core))
+            .lock(lock)
+            .compute(100 + u64::from(core) * 7)
+            .unlock(lock)
+            .compute(20_000)
+            .finish();
+        engine.spawn(core, Box::new(RepeatBehaviour::new(op, None)));
+    }
+    engine
+}
+
+#[test]
+fn all_cores_agree_on_a_blocking_lock_convoy() {
+    let run = |kind| {
+        let mut engine = convoy_engine(kind);
+        engine.run_until_cycles(3_000_000);
+        (fingerprint(&engine), engine.total_ops())
+    };
+    let wheel = run(EventCoreKind::Wheel);
+    assert!(wheel.1 > 0, "convoy made no progress");
+    assert_eq!(wheel, run(EventCoreKind::Heap), "heap diverged");
+    assert_eq!(wheel, run(EventCoreKind::CycleBox), "cycle box diverged");
+}
+
+/// Migration-heavy scenario (objects pinned off their threads' home
+/// cores) under all three cores.
+#[test]
+fn all_cores_agree_on_a_migration_storm() {
+    let run = |kind| {
+        let mut policy = StaticPolicy::new();
+        for i in 0..16u64 {
+            policy.assign(0x3000 + i, ((i * 7 + 3) % 16) as u32);
+        }
+        let mut engine = Engine::new(
+            Machine::new(MachineConfig::amd16()),
+            Box::new(policy),
+            RuntimeConfig::default().with_event_core(kind),
+        );
+        let data = engine.machine_mut().memory_mut().alloc(1 << 20, 0);
+        for core in 0..16u32 {
+            let op = OpBuilder::annotated(0x3000 + u64::from(core))
+                .compute(200 + u64::from(core) * 11)
+                .read(data.addr + u64::from(core) * 8192, 2048)
+                .finish();
+            engine.spawn(core, Box::new(RepeatBehaviour::new(op, None)));
+        }
+        engine.run_until_cycles(2_000_000);
+        (fingerprint(&engine), engine.total_ops())
+    };
+    let wheel = run(EventCoreKind::Wheel);
+    assert!(wheel.1 > 0, "storm made no progress");
+    assert_eq!(wheel, run(EventCoreKind::Heap), "heap diverged");
+    assert_eq!(wheel, run(EventCoreKind::CycleBox), "cycle box diverged");
+}

@@ -1,0 +1,189 @@
+//! Heap-vs-wheel equivalence, in the seeded-loop style of
+//! `tests/cache_equivalence.rs`.
+//!
+//! `reference` below is the engine's pre-refactor event queue verbatim: a
+//! `BinaryHeap<Reverse<(cycle, core)>>`. The production
+//! [`o2_suite::runtime::TimingWheel`] is driven through the same random
+//! push/peek/pop storms — near and far deltas, duplicates, same-cycle
+//! bursts, pushes below a peeked cursor — and must return the identical
+//! entry sequence at every step. Separate tests pin the cascade
+//! boundaries (exact multiples of the level spans), the overflow horizon
+//! and the top of the cycle space.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use o2_suite::runtime::{TimingWheel, WHEEL_HORIZON};
+
+/// The pre-refactor event queue, kept as the executable specification.
+mod reference {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    pub struct RefQueue {
+        heap: BinaryHeap<Reverse<(u64, usize)>>,
+    }
+
+    impl RefQueue {
+        pub fn new() -> Self {
+            Self {
+                heap: BinaryHeap::new(),
+            }
+        }
+
+        pub fn push(&mut self, cycle: u64, core: usize) {
+            self.heap.push(Reverse((cycle, core)));
+        }
+
+        pub fn peek(&self) -> Option<(u64, usize)> {
+            self.heap.peek().map(|&Reverse(e)| e)
+        }
+
+        pub fn pop(&mut self) -> Option<(u64, usize)> {
+            self.heap.pop().map(|Reverse(e)| e)
+        }
+
+        pub fn len(&self) -> usize {
+            self.heap.len()
+        }
+    }
+}
+
+/// Drives both queues through `ops` random operations and checks every
+/// result. `deltas` maps a raw random value to a push distance, letting
+/// callers shape the storm (near re-arms vs. horizon-crossing sleeps).
+fn lockstep(seed: u64, ops: usize, deltas: fn(&mut StdRng) -> u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut wheel = TimingWheel::new();
+    let mut heap = reference::RefQueue::new();
+    // Pushes must never go below the last popped cycle (virtual time is
+    // monotonic); track it, starting at 0.
+    let mut floor = 0u64;
+
+    for step in 0..ops {
+        match rng.gen_range(0u32..10) {
+            // Push: 6/10. A fresh entry lands `deltas` past the floor.
+            0..=5 => {
+                let cycle = floor + deltas(&mut rng);
+                let core = rng.gen_range(0usize..16);
+                wheel.push(cycle, core);
+                heap.push(cycle, core);
+            }
+            // Peek (may advance the wheel's cursor), then sometimes push
+            // *below* the peeked entry — the merge-into-batch path.
+            6..=7 => {
+                assert_eq!(wheel.peek(), heap.peek(), "peek diverged at {step}");
+                if let Some((at, _)) = heap.peek() {
+                    if rng.gen_bool(0.5) && at > floor {
+                        let cycle = rng.gen_range(floor..at + 1);
+                        let core = rng.gen_range(0usize..16);
+                        wheel.push(cycle, core);
+                        heap.push(cycle, core);
+                    }
+                }
+            }
+            // Pop: 2/10.
+            _ => {
+                let got = wheel.pop();
+                assert_eq!(got, heap.pop(), "pop diverged at {step}");
+                if let Some((at, _)) = got {
+                    floor = at;
+                }
+            }
+        }
+        assert_eq!(wheel.len(), heap.len(), "len diverged at {step}");
+    }
+    // Drain: the tails must match entry for entry.
+    while let Some(e) = heap.pop() {
+        assert_eq!(wheel.pop(), Some(e));
+    }
+    assert_eq!(wheel.pop(), None);
+    assert!(wheel.is_empty());
+}
+
+#[test]
+fn near_rearm_storm_matches_heap() {
+    // Action-cost-scale distances: everything stays in level 0.
+    for seed in 0..4 {
+        lockstep(0xA0 + seed, 50_000, |r| r.gen_range(0u64..600));
+    }
+}
+
+#[test]
+fn same_cycle_bursts_match_heap() {
+    // Heavily duplicated cycles: same-cycle batches with core tie-breaks.
+    for seed in 0..4 {
+        lockstep(0xB0 + seed, 50_000, |r| r.gen_range(0u64..4) * 100);
+    }
+}
+
+#[test]
+fn mixed_scale_storm_matches_heap() {
+    // Quantum- and epoch-scale sleeps force coarse-level filing and
+    // cascades back down.
+    for seed in 0..4 {
+        lockstep(0xC0 + seed, 50_000, |r| match r.gen_range(0u32..10) {
+            0..=5 => r.gen_range(0u64..2_000),
+            6..=8 => r.gen_range(0u64..300_000),
+            _ => r.gen_range(0u64..40_000_000),
+        });
+    }
+}
+
+#[test]
+fn horizon_crossing_storm_matches_heap() {
+    // A slice of the pushes land beyond the wheel horizon, exercising the
+    // ordered overflow set and its fold-back.
+    for seed in 0..4 {
+        lockstep(0xD0 + seed, 20_000, |r| {
+            if r.gen_bool(0.1) {
+                WHEEL_HORIZON + r.gen_range(0u64..3 * WHEEL_HORIZON)
+            } else {
+                r.gen_range(0u64..10_000)
+            }
+        });
+    }
+}
+
+#[test]
+fn exact_level_boundaries_match_heap() {
+    // Entries exactly on slot and level boundaries are the cascade edge
+    // cases: a boundary entry must stage, not re-file behind the cursor.
+    let spans = [8u64, 4096, 1 << 20, WHEEL_HORIZON];
+    let mut wheel = TimingWheel::new();
+    let mut heap = reference::RefQueue::new();
+    for &span in &spans {
+        for mult in 1..4u64 {
+            for off in [0u64, 1] {
+                for core in [3usize, 1] {
+                    wheel.push(span * mult + off, core);
+                    heap.push(span * mult + off, core);
+                }
+            }
+        }
+    }
+    while let Some(e) = heap.pop() {
+        assert_eq!(wheel.pop(), Some(e));
+    }
+    assert_eq!(wheel.pop(), None);
+}
+
+#[test]
+fn top_of_cycle_space_does_not_overflow() {
+    // The horizon fold near `u64::MAX` has no next window boundary; the
+    // wheel must still drain in order without arithmetic overflow.
+    let top = u64::MAX - WHEEL_HORIZON / 2;
+    let mut wheel = TimingWheel::new();
+    let mut heap = reference::RefQueue::new();
+    for (i, &c) in [5u64, top, top + 9, u64::MAX - 1, top + 4096]
+        .iter()
+        .enumerate()
+    {
+        wheel.push(c, i);
+        heap.push(c, i);
+    }
+    while let Some(e) = heap.pop() {
+        assert_eq!(wheel.pop(), Some(e));
+    }
+    assert_eq!(wheel.pop(), None);
+}
