@@ -7,7 +7,8 @@
 //! (Figure 4b) it cannot adapt.
 
 use o2_runtime::{
-    CoreId, DenseObjectId, ObjectDescriptor, ObjectId, OpContext, Placement, SchedPolicy,
+    CoreId, DenseObjectId, ObjectDescriptor, ObjectId, OpContext, Placement, PolicyFaultStats,
+    SchedPolicy,
 };
 
 /// Sentinel for "dense id not registered with this policy".
@@ -27,6 +28,10 @@ pub struct StaticPartition {
     /// External keys, kept for the reporting API only.
     keys: Vec<ObjectId>,
     registered: usize,
+    /// Bitmask of cores the fault plane took offline; round-robin and the
+    /// defined fallback (next live core, cyclically) skip these.
+    offline_mask: u64,
+    fault: PolicyFaultStats,
 }
 
 impl StaticPartition {
@@ -38,7 +43,25 @@ impl StaticPartition {
             by_object: Vec::new(),
             keys: Vec::new(),
             registered: 0,
+            offline_mask: 0,
+            fault: PolicyFaultStats::default(),
         }
+    }
+
+    fn is_offline(&self, core: CoreId) -> bool {
+        core < 64 && self.offline_mask & (1u64 << core) != 0
+    }
+
+    /// The next live core after `core`, cyclically — the baseline's
+    /// defined fallback when a pin points at a dead core.
+    fn next_live(&self, core: CoreId) -> CoreId {
+        for step in 1..=self.cores {
+            let c = (core + step) % self.cores;
+            if !self.is_offline(c) {
+                return c;
+            }
+        }
+        core
     }
 
     /// The core an object (by external key) was assigned to, if
@@ -79,7 +102,11 @@ impl SchedPolicy for StaticPartition {
         if self.by_object[idx] == UNASSIGNED {
             self.registered += 1;
         }
-        self.by_object[idx] = self.next % self.cores;
+        let mut core = self.next % self.cores;
+        if self.is_offline(core) {
+            core = self.next_live(core);
+        }
+        self.by_object[idx] = core;
         self.keys[idx] = object.id;
         self.next += 1;
     }
@@ -89,6 +116,30 @@ impl SchedPolicy for StaticPartition {
             Some(core) if core != UNASSIGNED && core != ctx.core => Placement::On(core),
             _ => Placement::Local,
         }
+    }
+
+    fn core_down(&mut self, core: CoreId) {
+        self.fault.core_down_events += 1;
+        if core < 64 {
+            self.offline_mask |= 1u64 << core;
+        }
+        // Static partitioning cannot re-pack; the defined fallback re-pins
+        // every object on the dead core to the next live core, keeping the
+        // partition static but total.
+        let fallback = self.next_live(core);
+        if fallback == core {
+            return;
+        }
+        for slot in &mut self.by_object {
+            if *slot == core {
+                *slot = fallback;
+                self.fault.objects_rehomed += 1;
+            }
+        }
+    }
+
+    fn fault_stats(&self) -> PolicyFaultStats {
+        self.fault
     }
 }
 
@@ -143,6 +194,30 @@ mod tests {
         assert_eq!(engine.machine().counters(1).operations_completed, 5);
         assert!(engine.thread_stats(0).migrations >= 1);
         assert_eq!(engine.machine().counters(3).operations_completed, 0);
+    }
+
+    #[test]
+    fn core_down_repins_objects_to_the_next_live_core() {
+        let mut p = StaticPartition::new(4);
+        for id in 0..8u32 {
+            p.register_object(
+                id,
+                &ObjectDescriptor::new(u64::from(id), u64::from(id) * 0x1000, 64),
+            );
+        }
+        // Cores 1's objects (ids 1 and 5) move to core 2; later
+        // registrations skip the dead core too.
+        p.core_down(1);
+        assert_eq!(p.assignment(1), Some(2));
+        assert_eq!(p.assignment(5), Some(2));
+        assert_eq!(p.assignment(0), Some(0));
+        let fs = p.fault_stats();
+        assert_eq!(fs.core_down_events, 1);
+        assert_eq!(fs.objects_rehomed, 2);
+        p.register_object(8, &ObjectDescriptor::new(8, 0x9000, 64)); // rr -> 0
+        p.register_object(9, &ObjectDescriptor::new(9, 0xA000, 64)); // rr -> dead 1 -> 2
+        assert_eq!(p.assignment(8), Some(0));
+        assert_eq!(p.assignment(9), Some(2));
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! Diagnostic harness: prints detailed per-core and policy statistics for
 //! a single Figure-4 point. Useful when calibrating the simulator.
 //!
-//! `cargo run --release -p o2-bench --bin diag -- [total_kb] [coretime|baseline]`
+//! `cargo run --release -p o2-bench --bin diag -- [total_kb] [coretime|baseline] [storm]`
+//!
+//! The optional third argument `storm` injects a seeded fault storm (one
+//! slowdown window, one interconnect-degradation window, one offlining)
+//! so the fault-plane telemetry below has something to show.
 
 use o2_bench::PolicyKind;
+use o2_sim::FaultPlan;
 use o2_workloads::{Experiment, WorkloadSpec};
 
 fn main() {
@@ -13,7 +18,11 @@ fn main() {
         Some("baseline") => PolicyKind::ThreadScheduler,
         _ => PolicyKind::CoreTime,
     };
-    let spec = WorkloadSpec::for_total_kb(total_kb);
+    let mut spec = WorkloadSpec::for_total_kb(total_kb);
+    if args.get(3).map(|s| s.as_str()) == Some("storm") {
+        spec.fault_plan =
+            FaultPlan::seeded_storm(0xD1A6, spec.machine.total_cores(), 1_000_000, 800_000);
+    }
     let boxed = policy.build(&spec.machine);
     let mut exp = Experiment::build(spec.clone(), boxed);
 
@@ -83,4 +92,18 @@ fn main() {
     println!("wheel cascades    : {}", s.wheel_cascades);
     println!("wheel overflows   : {}", s.wheel_overflows);
     println!("wheel max batch   : {}", s.wheel_max_batch);
+
+    let f = engine.policy().fault_stats();
+    println!("-- fault plane --");
+    println!("faults applied    : {}", s.faults_applied);
+    println!("cores offlined    : {}", s.cores_offlined);
+    println!("cores slowed      : {}", s.cores_slowed);
+    println!("migration retries : {}", s.migration_retries);
+    println!("migration failures: {}", s.migration_failures);
+    println!("threads re-pinned : {}", s.threads_repinned);
+    println!("recovery cycles   : {}", s.recovery_cycles);
+    println!("policy core-downs : {}", f.core_down_events);
+    println!("objects re-homed  : {}", f.objects_rehomed);
+    println!("objects stranded  : {}", f.objects_stranded);
+    println!("degraded avoids   : {}", f.degraded_avoids);
 }

@@ -38,6 +38,34 @@ pub fn hot_cores(cfg: &CoreTimeConfig, deltas: &[CounterDelta]) -> Vec<CoreId> {
         .collect()
 }
 
+/// Detects degraded cores: cores that were busy this epoch but completed
+/// operations at less than `1 / pathology_factor` of the mean
+/// ops-per-busy-cycle rate. This is the fault plane's detector — a core
+/// the fault plan slowed down burns `slowdown × cost` cycles per
+/// operation, so its rate collapses relative to its peers and CoreTime
+/// stops migrating operations to it (data moves instead). Idle cores are
+/// excluded: completing nothing while doing nothing is not degradation.
+pub fn slow_cores(cfg: &CoreTimeConfig, deltas: &[CounterDelta]) -> Vec<CoreId> {
+    let rates: Vec<Option<f64>> = deltas
+        .iter()
+        .map(|d| (d.busy_cycles > 0).then(|| d.operations_completed as f64 / d.busy_cycles as f64))
+        .collect();
+    let live: Vec<f64> = rates.iter().flatten().copied().collect();
+    if live.is_empty() {
+        return Vec::new();
+    }
+    let mean = live.iter().sum::<f64>() / live.len() as f64;
+    if mean <= 0.0 {
+        return Vec::new();
+    }
+    rates
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| matches!(r, Some(rate) if *rate < mean / cfg.pathology_factor))
+        .map(|(i, _)| i as CoreId)
+        .collect()
+}
+
 /// Plans moves that spread a hot core's objects (all but its single hottest
 /// object, which stays) to the coldest cores with room.
 pub fn plan(
@@ -141,6 +169,30 @@ mod tests {
         let even = vec![ops_delta(100); 4];
         assert!(hot_cores(&cfg, &even).is_empty());
         assert!(hot_cores(&cfg, &[]).is_empty());
+    }
+
+    #[test]
+    fn slow_core_detection_compares_ops_per_busy_cycle() {
+        let cfg = CoreTimeConfig::default(); // pathology_factor = 3
+        let rate = |ops, busy| CounterDelta {
+            busy_cycles: busy,
+            operations_completed: ops,
+            ..Default::default()
+        };
+        // Core 2 completes ops at 1/8 the rate of its peers: degraded.
+        let deltas = vec![
+            rate(800, 100_000),
+            rate(800, 100_000),
+            rate(100, 100_000),
+            rate(800, 100_000),
+        ];
+        assert_eq!(slow_cores(&cfg, &deltas), vec![2]);
+        // An idle core (busy = 0) is parked, not degraded.
+        let deltas = vec![rate(800, 100_000), rate(0, 0), rate(800, 100_000)];
+        assert!(slow_cores(&cfg, &deltas).is_empty());
+        // Uniform rates: nothing is slow.
+        assert!(slow_cores(&cfg, &vec![rate(500, 100_000); 4]).is_empty());
+        assert!(slow_cores(&cfg, &[]).is_empty());
     }
 
     #[test]

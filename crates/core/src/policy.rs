@@ -51,6 +51,29 @@ pub struct O2Stats {
     pub local_operations: u64,
     /// Policy epochs processed.
     pub epochs: u64,
+    /// `core_down` notifications received from the fault plane.
+    pub core_down_events: u64,
+    /// Objects re-placed onto live cores after an offlining.
+    pub objects_rehomed: u64,
+    /// Objects that found no room on the surviving cores and fell back to
+    /// hardware-managed caching.
+    pub objects_stranded: u64,
+    /// Migrations skipped because the target core was degraded — the
+    /// "flip from migration to data movement" path.
+    pub degraded_avoids: u64,
+}
+
+/// Iterates the set bits of a core bitmask in ascending core order,
+/// without allocating — used on the `ct_start` hot path.
+fn mask_bits(mut mask: u64) -> impl Iterator<Item = o2_runtime::CoreId> {
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            return None;
+        }
+        let core = mask.trailing_zeros();
+        mask &= mask - 1;
+        Some(core)
+    })
 }
 
 /// The CoreTime O2 scheduling policy.
@@ -67,6 +90,18 @@ pub struct O2Policy {
     /// Scratch for the epoch decay pass, reused across epochs so the
     /// decision path stays allocation-free in steady state.
     idle_scratch: Vec<DenseObjectId>,
+    /// Cores the fault plane took permanently offline.
+    offline_mask: u64,
+    /// Cores whose announced slowdown crossed the degradation threshold
+    /// (`pathology_factor` as a percentage of nominal cost).
+    degraded_mask: u64,
+    /// Cores the pathology detector flagged as slow from counters alone,
+    /// recomputed every epoch — the detector half of the fault plane.
+    detected_mask: u64,
+    /// Set (stickily) the first time the fault plane signals anything.
+    /// The counter detector only runs when armed, so a zero-fault run
+    /// stays bit-identical to one with no fault plane at all.
+    fault_plane_armed: bool,
 }
 
 impl O2Policy {
@@ -85,7 +120,19 @@ impl O2Policy {
             stats: O2Stats::default(),
             placement_failures_this_epoch: 0,
             idle_scratch: Vec::new(),
+            offline_mask: 0,
+            degraded_mask: 0,
+            detected_mask: 0,
+            fault_plane_armed: false,
         }
+    }
+
+    /// Cores `ct_start` refuses to migrate to: offline cores, cores with
+    /// an announced slowdown past the threshold, and cores the counter
+    /// detector flagged this epoch.
+    #[inline]
+    fn avoid_mask(&self) -> u64 {
+        self.offline_mask | self.degraded_mask | self.detected_mask
     }
 
     /// Creates a CoreTime policy with the default configuration.
@@ -188,7 +235,26 @@ impl SchedPolicy for O2Policy {
             self.stats.local_operations += 1;
             return Placement::Local;
         }
-        let target = replication::nearest_replica(replicas.iter(), ctx.core, |a, b| {
+        // Drop copies on cores the fault plane ruled out. With no faults
+        // `avoid_mask()` is zero and this is the full replica set.
+        let usable = replicas.mask() & !self.avoid_mask();
+        if usable == 0 {
+            // Every copy lives on a degraded or dead core: run in place
+            // and let the object's lines move — the flip from thread
+            // migration to data movement.
+            if replication::nearest_replica(replicas.iter(), ctx.core, |a, b| {
+                ctx.machine.hops_between_cores(a, b)
+            }) != Some(ctx.core)
+            {
+                self.stats.degraded_avoids += 1;
+            }
+            self.stats.local_operations += 1;
+            return Placement::Local;
+        }
+        // Invariant: `usable != 0` was checked above, so the bit iterator
+        // yields at least one core and `nearest_replica` returns `Some`.
+        debug_assert!(usable != 0);
+        let target = replication::nearest_replica(mask_bits(usable), ctx.core, |a, b| {
             ctx.machine.hops_between_cores(a, b)
         })
         .expect("non-empty replica list");
@@ -283,7 +349,77 @@ impl SchedPolicy for O2Policy {
             }
         }
 
+        // The pathology detector doubles as the degradation detector: a
+        // core completing operations at a fraction of its peers' rate per
+        // busy cycle is treated exactly like a core with an announced
+        // slowdown — `ct_start` stops migrating there until the counters
+        // recover. Recomputed from scratch each epoch so the flag clears
+        // itself. Only armed runs pay for it: until the fault plane
+        // signals something, placement must be bit-identical to a run
+        // with no fault plane at all (the existing pathology machinery
+        // already handles fault-free imbalance by moving objects).
+        if self.fault_plane_armed {
+            self.detected_mask = 0;
+            for core in pathology::slow_cores(&self.cfg, view.deltas) {
+                if core < 64 {
+                    self.detected_mask |= 1u64 << core;
+                }
+            }
+        }
+
         Vec::new()
+    }
+
+    fn core_down(&mut self, core: o2_runtime::CoreId) {
+        self.fault_plane_armed = true;
+        self.stats.core_down_events += 1;
+        if core < 64 {
+            self.offline_mask |= 1u64 << core;
+        }
+        // Zero the dead core's packing budget so no packer (first-fit,
+        // balanced, replacement) ever places there again, then re-home
+        // everything it held onto the surviving cores through the normal
+        // balanced packer. Objects that no longer fit anywhere are left
+        // unassigned — operations on them run wherever the thread is and
+        // the hardware manages their lines.
+        self.table.set_capacity(core, 0);
+        let objects: Vec<DenseObjectId> = self.table.objects_on(core).to_vec();
+        for object in objects {
+            let Some(size) = self.table.charged_bytes(object) else {
+                continue;
+            };
+            self.table.unassign(object);
+            if packing::place_balanced(&mut self.table, object, size).is_some() {
+                self.stats.objects_rehomed += 1;
+            } else {
+                self.stats.objects_stranded += 1;
+            }
+        }
+    }
+
+    fn core_degraded(&mut self, core: o2_runtime::CoreId, slowdown_percent: u32) {
+        self.fault_plane_armed = true;
+        if core >= 64 {
+            return;
+        }
+        // The degradation threshold reuses the pathology factor: a core
+        // announced at `pathology_factor`× nominal cost (or worse) is no
+        // longer a profitable migration target.
+        let threshold = (self.cfg.pathology_factor * 100.0) as u32;
+        if slowdown_percent >= threshold {
+            self.degraded_mask |= 1u64 << core;
+        } else {
+            self.degraded_mask &= !(1u64 << core);
+        }
+    }
+
+    fn fault_stats(&self) -> o2_runtime::PolicyFaultStats {
+        o2_runtime::PolicyFaultStats {
+            core_down_events: self.stats.core_down_events,
+            objects_rehomed: self.stats.objects_rehomed,
+            objects_stranded: self.stats.objects_stranded,
+            degraded_avoids: self.stats.degraded_avoids,
+        }
     }
 }
 
@@ -610,6 +746,120 @@ mod tests {
         assert!(policy.table().is_assigned(4));
         assert_eq!(policy.table().primary(4), Some(freed_core));
         let _ = epoch;
+    }
+
+    #[test]
+    fn core_down_rehomes_objects_and_blocks_the_dead_core() {
+        let machine = quad_machine();
+        let mut policy = O2Policy::with_defaults(machine.config());
+        policy.register_object(0, &ObjectDescriptor::new(0x1000, 0x1000, 32 * 1024));
+        for _ in 0..5 {
+            expensive_op(&mut policy, &machine, 0, 0x1000);
+        }
+        let dead = policy.table().primary(0).expect("object assigned");
+        policy.core_down(dead);
+        let s = policy.stats();
+        assert_eq!(s.core_down_events, 1);
+        assert_eq!(s.objects_rehomed, 1);
+        assert_eq!(s.objects_stranded, 0);
+        let new_home = policy.table().primary(0).expect("object re-homed");
+        assert_ne!(new_home, dead);
+        assert_eq!(policy.table().capacity(dead), 0);
+        // ct_start now targets the new home, never the dead core.
+        let ctx = OpContext {
+            thread: 0,
+            core: dead,
+            home_core: dead,
+            object: 0,
+            object_key: 0x1000,
+            now: 0,
+            machine: &machine,
+        };
+        assert_eq!(policy.on_ct_start(&ctx), Placement::On(new_home));
+        let fs = policy.fault_stats();
+        assert_eq!(fs.core_down_events, 1);
+        assert_eq!(fs.objects_rehomed, 1);
+    }
+
+    #[test]
+    fn degraded_core_flips_migration_to_data_movement() {
+        let machine = quad_machine();
+        let mut policy = O2Policy::with_defaults(machine.config());
+        policy.register_object(0, &ObjectDescriptor::new(0x1000, 0x1000, 32 * 1024));
+        for _ in 0..5 {
+            expensive_op(&mut policy, &machine, 0, 0x1000);
+        }
+        let home = policy.table().primary(0).expect("object assigned");
+        let other = (home + 1) % 4;
+        let ctx = OpContext {
+            thread: 0,
+            core: other,
+            home_core: other,
+            object: 0,
+            object_key: 0x1000,
+            now: 0,
+            machine: &machine,
+        };
+        assert_eq!(policy.on_ct_start(&ctx), Placement::On(home));
+        // A 4x slowdown crosses the default threshold (3x): run local.
+        policy.core_degraded(home, 400);
+        assert_eq!(policy.on_ct_start(&ctx), Placement::Local);
+        assert_eq!(policy.stats().degraded_avoids, 1);
+        // A mild slowdown below the threshold does not block migration,
+        // and recovery (100) clears the flag.
+        policy.core_degraded(home, 150);
+        assert_eq!(policy.on_ct_start(&ctx), Placement::On(home));
+        policy.core_degraded(home, 400);
+        policy.core_degraded(home, 100);
+        assert_eq!(policy.on_ct_start(&ctx), Placement::On(home));
+    }
+
+    #[test]
+    fn counter_detector_flags_and_clears_slow_cores() {
+        let machine = quad_machine();
+        let mut policy = O2Policy::with_defaults(machine.config());
+        policy.register_object(0, &ObjectDescriptor::new(0x1000, 0x1000, 32 * 1024));
+        for _ in 0..5 {
+            expensive_op(&mut policy, &machine, 0, 0x1000);
+        }
+        let home = policy.table().primary(0).expect("object assigned");
+        let other = (home + 1) % 4;
+        // A sub-threshold degradation announcement arms the detector
+        // without avoiding anything by itself.
+        policy.core_degraded(home, 100);
+        let rate = |ops, busy| CounterDelta {
+            busy_cycles: busy,
+            operations_completed: ops,
+            ..Default::default()
+        };
+        // The assigned core completes ops at 1/10 its peers' per-cycle
+        // rate: the armed detector flags it without any announced fault
+        // crossing the threshold.
+        let mut deltas = vec![rate(1000, 100_000); 4];
+        deltas[home as usize] = rate(100, 100_000);
+        policy.on_epoch(&EpochView {
+            now: 100_000,
+            machine: &machine,
+            deltas: &deltas,
+        });
+        let ctx = OpContext {
+            thread: 0,
+            core: other,
+            home_core: other,
+            object: 0,
+            object_key: 0x1000,
+            now: 0,
+            machine: &machine,
+        };
+        assert_eq!(policy.on_ct_start(&ctx), Placement::Local);
+        assert!(policy.stats().degraded_avoids >= 1);
+        // Rates even out: the next epoch clears the flag.
+        policy.on_epoch(&EpochView {
+            now: 200_000,
+            machine: &machine,
+            deltas: &vec![rate(1000, 100_000); 4],
+        });
+        assert_eq!(policy.on_ct_start(&ctx), Placement::On(home));
     }
 
     #[test]

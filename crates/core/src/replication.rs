@@ -67,6 +67,9 @@ pub fn plan(
         // table (the assign-time size), not the registry's current size —
         // the two can diverge after re-registration or estimate growth,
         // and `add_replica` will charge the former.
+        // Invariant: `object` was taken from the table's assigned set, so
+        // it has a charge.
+        debug_assert!(table.is_assigned(object));
         let size = table
             .charged_bytes(object)
             .expect("assigned object has a charge");

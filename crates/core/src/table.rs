@@ -185,6 +185,14 @@ impl AssignmentTable {
         self.capacities[core as usize]
     }
 
+    /// Changes a core's capacity budget. The fault plane zeroes a dead
+    /// core's budget so every packer (first-fit, balanced, replacement)
+    /// naturally skips it; existing assignments are not touched — the
+    /// caller re-homes them.
+    pub fn set_capacity(&mut self, core: CoreId, bytes: u64) {
+        self.capacities[core as usize] = bytes;
+    }
+
     /// Objects assigned (primary or replica) to a core, in assignment
     /// order. Consumers that care about a specific order must sort with a
     /// total key — see the epoch planners.

@@ -661,6 +661,131 @@ fn fig_fsmeta(quick: bool) -> Scenario {
     }
 }
 
+// ---- fig_fault -------------------------------------------------------
+
+/// The three fault schedules of the robustness figure. Times are absolute
+/// virtual cycles; the default run warms up for roughly 1–2M cycles, so
+/// an edge at 800K–1.5M lands once objects are assigned and stays active
+/// through the 3M-cycle measurement window.
+fn fault_schedules() -> Vec<(&'static str, o2_sim::FaultPlan)> {
+    use o2_sim::FaultPlan;
+    vec![
+        (
+            "offline core 3",
+            FaultPlan::empty().offline_core(1_500_000, 3),
+        ),
+        (
+            "6x slowdown on core 2",
+            FaultPlan::empty().slow_core(800_000, 2, 600, 0),
+        ),
+        (
+            "lossy interconnect (25% loss, +40 cyc/hop)",
+            FaultPlan::empty().degrade_interconnect(800_000, 250, 40, 0),
+        ),
+    ]
+}
+
+fn fig_fault_cell(sc: &Scenario, se: usize, pt: usize, seed: u64) -> CellResult {
+    let policy = policy_of(sc, se);
+    let mut spec = WorkloadSpec::for_total_kb(sc.payload);
+    spec.seed = seed;
+    // The zero-fault twin: the same cell (same seed, same machine, same
+    // policy) with an empty plan. "Throughput retained" is the faulted
+    // run as a percentage of this.
+    let healthy = {
+        let boxed = policy.build(&spec.machine);
+        Experiment::build(spec.clone(), boxed).run().kres_per_sec()
+    };
+    let plan = fault_schedules()[pt].1.clone();
+    let boxed = policy.build(&spec.machine);
+    let mut exp = Experiment::build(spec.with_fault_plan(plan), boxed);
+    let faulted = exp.run().kres_per_sec();
+    let retained = if healthy > 0.0 {
+        100.0 * faulted / healthy
+    } else {
+        0.0
+    };
+    let sched = exp.engine().sched_stats();
+    let fs = exp.engine().policy().fault_stats();
+    CellResult {
+        x: sc.points[pt].x,
+        y: retained,
+        lines: vec![format!(
+            "{} / {}: healthy {healthy:.0} kres/s, faulted {faulted:.0} kres/s, \
+             retained {retained:.1}% | engine: faults {} offlined {} slowed {} \
+             retries {} failures {} repinned {} recovery {} cyc | policy: down {} \
+             rehomed {} stranded {} avoids {}",
+            sc.series[se].label,
+            sc.points[pt].label,
+            sched.faults_applied,
+            sched.cores_offlined,
+            sched.cores_slowed,
+            sched.migration_retries,
+            sched.migration_failures,
+            sched.threads_repinned,
+            sched.recovery_cycles,
+            fs.core_down_events,
+            fs.objects_rehomed,
+            fs.objects_stranded,
+            fs.degraded_avoids,
+        )],
+    }
+}
+
+fn fig_fault(quick: bool) -> Scenario {
+    let total_kb: u64 = if quick { 2048 } else { 8192 };
+    Scenario {
+        name: "fig_fault",
+        title: "Robustness: throughput retained under injected faults (% of the zero-fault run)",
+        description: "CoreTime vs every baseline under core offlining, core slowdown and \
+                      interconnect loss",
+        x_label: "Fault schedule (1=offline core, 2=slow core, 3=lossy interconnect)",
+        params: vec![
+            (
+                "machine".into(),
+                "4 chips x 4 cores (AMD-like), 2 GHz".into(),
+            ),
+            ("total data size".into(), format!("{total_kb} KB")),
+            (
+                "metric".into(),
+                "faulted throughput / zero-fault throughput of the same cell, in %".into(),
+            ),
+        ],
+        series: PolicyKind::ALL
+            .iter()
+            .copied()
+            .map(SeriesDef::policy)
+            .collect(),
+        points: fault_schedules()
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| SweepPoint::ordinal(i, i as u64, *name))
+            .collect(),
+        payload: total_kb,
+        run: fig_fault_cell,
+        summarize: Some(|_, table| {
+            // Series 0 is CoreTime, series 2 the thread scheduler.
+            let mut notes = Vec::new();
+            for (pt, label) in ["offline", "slowdown", "interconnect loss"]
+                .iter()
+                .enumerate()
+            {
+                let ct = table.series[0].points[pt].1;
+                let ts = table.series[2].points[pt].1;
+                notes.push(format!(
+                    "{label}: CoreTime retains {ct:.1}%, thread scheduler {ts:.1}%{}",
+                    if ct > ts {
+                        " — CoreTime's re-homing/avoidance wins"
+                    } else {
+                        ""
+                    }
+                ));
+            }
+            notes
+        }),
+    }
+}
+
 // ---- the registry ----------------------------------------------------
 
 /// Builds the full scenario registry. `quick` selects the reduced
@@ -677,6 +802,7 @@ pub fn registry(quick: bool) -> Vec<Scenario> {
         ablation_replacement(quick),
         table_latency(),
         fig_fsmeta(quick),
+        fig_fault(quick),
     ]
 }
 
@@ -713,6 +839,7 @@ mod tests {
             "ablation_replacement",
             "table_latency",
             "fig_fsmeta",
+            "fig_fault",
         ] {
             assert!(
                 scenarios.iter().any(|s| s.name == required),

@@ -76,6 +76,18 @@ pub struct RuntimeConfig {
     /// Which event core drives the run loop. All kinds are bit-identical
     /// in results; see [`EventCoreKind`].
     pub event_core: EventCoreKind,
+    /// How many times a migration send is retried when the context message
+    /// is lost on a degraded interconnect (fault injection). The first
+    /// attempt is not a retry; zero means a single lossy send fails the
+    /// migration outright.
+    pub migration_max_retries: u32,
+    /// Backoff charged on the source core before the first migration
+    /// retry; doubles on each subsequent retry.
+    pub migration_retry_backoff_cycles: Cycles,
+    /// Total backoff budget for one migration: once the accumulated
+    /// backoff reaches this, the migration times out and the operation
+    /// runs where the thread already is.
+    pub migration_timeout_cycles: Cycles,
 }
 
 impl Default for RuntimeConfig {
@@ -94,6 +106,9 @@ impl Default for RuntimeConfig {
             idle_step_cycles: 400,
             blocking_locks: false,
             event_core: EventCoreKind::default(),
+            migration_max_retries: 4,
+            migration_retry_backoff_cycles: 200,
+            migration_timeout_cycles: 8_000,
         }
     }
 }
@@ -161,6 +176,12 @@ impl RuntimeConfig {
         if self.poll_interval_cycles == 0 {
             return Err("poll_interval_cycles must be positive".into());
         }
+        if self.migration_retry_backoff_cycles == 0 {
+            return Err("migration_retry_backoff_cycles must be positive".into());
+        }
+        if self.migration_timeout_cycles < self.migration_retry_backoff_cycles {
+            return Err("migration_timeout_cycles must cover at least one backoff".into());
+        }
         Ok(())
     }
 }
@@ -212,6 +233,12 @@ mod tests {
         assert!(cfg.validate().is_err());
         let mut cfg = RuntimeConfig::default();
         cfg.poll_interval_cycles = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RuntimeConfig::default();
+        cfg.migration_retry_backoff_cycles = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RuntimeConfig::default();
+        cfg.migration_timeout_cycles = cfg.migration_retry_backoff_cycles - 1;
         assert!(cfg.validate().is_err());
     }
 }

@@ -33,6 +33,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use crate::action::{Action, ObjectDescriptor};
 use crate::behaviour::{BehaviourCtx, ThreadBehaviour};
 use crate::config::{EventCoreKind, RuntimeConfig};
+use crate::error::EngineError;
 use crate::object_index::ObjectIndex;
 use crate::policy::{EpochView, OpContext, Placement, PolicyCommand, SchedPolicy};
 use crate::stats::{RunWindow, SchedStats};
@@ -40,7 +41,9 @@ use crate::sync::LockRegistry;
 use crate::thread::{OpRecord, Thread, ThreadState, ThreadStats};
 use crate::types::{CoreId, Cycles, DenseObjectId, LockId, ObjectId, ThreadId};
 use crate::wheel::TimingWheel;
-use o2_sim::{AccessKind, Machine, MachineCounters, MemStats};
+use o2_sim::{
+    AccessKind, FaultKind, FaultPlan, LinkDegradation, Machine, MachineCounters, MemStats,
+};
 
 /// Sentinel in `sched_wake` marking a parked core (no pending wake).
 /// `Cycles::MAX` is unreachable as a real wake cycle.
@@ -91,6 +94,25 @@ struct Incoming {
     ready_at: Cycles,
 }
 
+/// One expanded edge of the fault plan: a window start, a window end, or
+/// a permanent offlining, applied when the virtual-time frontier reaches
+/// `at`. [`FaultKind`] windows with a duration expand to a start and an
+/// end edge.
+#[derive(Debug, Clone, Copy)]
+struct FaultEdge {
+    at: Cycles,
+    action: FaultAction,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FaultAction {
+    SlowStart { core: usize, percent: u32 },
+    SlowEnd { core: usize },
+    Offline { core: usize },
+    DegradeStart { deg: LinkDegradation },
+    DegradeEnd,
+}
+
 /// Per-core scheduler state.
 #[derive(Debug, Default)]
 struct CoreState {
@@ -127,6 +149,19 @@ pub struct Engine {
     /// while parked). Used to recognise stale queue entries.
     sched_wake: Vec<Cycles>,
     sched_stats: SchedStats,
+    /// The expanded fault schedule, sorted by cycle; `next_fault_idx`
+    /// walks it as edges fire.
+    fault_edges: Vec<FaultEdge>,
+    next_fault_idx: usize,
+    /// Cycle of the next pending fault edge — `Cycles::MAX` when none,
+    /// which makes every fault gate in the run loops a no-op compare.
+    next_fault_at: Cycles,
+    /// Seed handed to the interconnect for migration-loss draws.
+    fault_seed: u64,
+    /// Per-core cost multiplier in percent of nominal (100 = healthy).
+    core_slowdown: Vec<u32>,
+    /// Cores taken permanently offline by the fault plan.
+    core_offline: Vec<bool>,
 }
 
 impl Engine {
@@ -157,17 +192,114 @@ impl Engine {
             events,
             sched_wake: vec![PARKED; n],
             sched_stats: SchedStats::default(),
+            fault_edges: Vec::new(),
+            next_fault_idx: 0,
+            next_fault_at: PARKED,
+            fault_seed: 0,
+            core_slowdown: vec![100; n],
+            core_offline: vec![false; n],
         }
+    }
+
+    /// Installs a fault plan: expands it into a sorted edge schedule the
+    /// run loops consume. Events targeting out-of-range cores are
+    /// dropped (validate plans against the machine beforehand to catch
+    /// them). An empty plan leaves the engine bit-identical to one that
+    /// never had a fault plane at all.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        let n = self.cores.len();
+        let mut edges: Vec<FaultEdge> = Vec::new();
+        for ev in &plan.events {
+            match ev.kind {
+                FaultKind::SlowCore {
+                    core,
+                    percent,
+                    duration,
+                } => {
+                    if (core as usize) < n {
+                        edges.push(FaultEdge {
+                            at: ev.at,
+                            action: FaultAction::SlowStart {
+                                core: core as usize,
+                                percent: percent.max(1),
+                            },
+                        });
+                        if duration > 0 {
+                            edges.push(FaultEdge {
+                                at: ev.at.saturating_add(duration),
+                                action: FaultAction::SlowEnd {
+                                    core: core as usize,
+                                },
+                            });
+                        }
+                    }
+                }
+                FaultKind::OfflineCore { core } => {
+                    if (core as usize) < n {
+                        edges.push(FaultEdge {
+                            at: ev.at,
+                            action: FaultAction::Offline {
+                                core: core as usize,
+                            },
+                        });
+                    }
+                }
+                FaultKind::DegradeInterconnect {
+                    loss_per_mille,
+                    extra_cycles_per_hop,
+                    duration,
+                } => {
+                    edges.push(FaultEdge {
+                        at: ev.at,
+                        action: FaultAction::DegradeStart {
+                            deg: LinkDegradation {
+                                loss_per_mille,
+                                extra_cycles_per_hop,
+                            },
+                        },
+                    });
+                    if duration > 0 {
+                        edges.push(FaultEdge {
+                            at: ev.at.saturating_add(duration),
+                            action: FaultAction::DegradeEnd,
+                        });
+                    }
+                }
+            }
+        }
+        // Stable sort: edges at the same cycle apply in plan order.
+        edges.sort_by_key(|e| e.at);
+        self.fault_seed = plan.seed;
+        self.next_fault_idx = 0;
+        self.next_fault_at = edges.first().map_or(PARKED, |e| e.at);
+        self.fault_edges = edges;
+    }
+
+    /// Whether the fault plan has taken `core` offline.
+    pub fn core_offline(&self, core: CoreId) -> bool {
+        self.core_offline[core as usize]
+    }
+
+    /// The core's current cost multiplier in percent (100 = healthy).
+    pub fn core_slowdown(&self, core: CoreId) -> u32 {
+        self.core_slowdown[core as usize]
     }
 
     // ---- construction / registration --------------------------------------
 
-    /// Spawns a thread homed on `home_core` and returns its id.
+    /// Spawns a thread homed on `home_core` and returns its id. If the
+    /// fault plan has already taken that core offline, the thread homes
+    /// on the next live core instead.
     pub fn spawn(&mut self, home_core: CoreId, behaviour: Box<dyn ThreadBehaviour>) -> ThreadId {
         assert!(
             (home_core as usize) < self.cores.len(),
             "home core {home_core} out of range"
         );
+        let home_core = if self.core_offline[home_core as usize] {
+            self.fallback_core(home_core)
+        } else {
+            home_core
+        };
         let id = self.threads.len();
         self.threads.push(Thread::new(id, home_core, behaviour));
         self.locations.push(Some(home_core));
@@ -280,8 +412,24 @@ impl Engine {
     // ---- running -----------------------------------------------------------
 
     /// Runs until every core's clock reaches `limit` (or all threads exit).
+    /// Panics on a behaviour error; see [`Engine::try_run_until_cycles`].
     pub fn run_until_cycles(&mut self, limit: Cycles) {
-        self.run_loop(limit, u64::MAX);
+        self.try_run_until_cycles(limit)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Runs until `n` additional operations have completed (or all threads
+    /// exit). Panics on a behaviour error; see
+    /// [`Engine::try_run_until_ops`].
+    pub fn run_until_ops(&mut self, n: u64) {
+        self.try_run_until_ops(n).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`Engine::run_until_cycles`]: behaviour misuse
+    /// (unbalanced annotations, unknown locks) surfaces as
+    /// [`EngineError`] instead of a panic.
+    pub fn try_run_until_cycles(&mut self, limit: Cycles) -> Result<(), EngineError> {
+        let result = self.run_loop(limit, u64::MAX);
         // Cores that are still parked were idle for the rest of the run.
         let settle_to = if self.live_threads == 0 {
             self.max_clock().min(limit)
@@ -289,20 +437,21 @@ impl Engine {
             limit
         };
         self.settle_idle_cores(settle_to);
+        result
     }
 
-    /// Runs until `n` additional operations have completed (or all threads
-    /// exit).
-    pub fn run_until_ops(&mut self, n: u64) {
+    /// Fallible form of [`Engine::run_until_ops`].
+    pub fn try_run_until_ops(&mut self, n: u64) -> Result<(), EngineError> {
         let target = self.total_ops.saturating_add(n);
-        self.run_loop(Cycles::MAX, target);
+        let result = self.run_loop(Cycles::MAX, target);
         let settle_to = self.max_clock();
         self.settle_idle_cores(settle_to);
+        result
     }
 
     /// The main loop: dispatches events strictly before `limit` until
     /// `ops_target` operations have completed or every thread exits.
-    fn run_loop(&mut self, limit: Cycles, ops_target: u64) {
+    fn run_loop(&mut self, limit: Cycles, ops_target: u64) -> Result<(), EngineError> {
         match self.cfg.event_core {
             EventCoreKind::Wheel => self.run_loop_wheel(limit, ops_target),
             EventCoreKind::Heap | EventCoreKind::CycleBox => {
@@ -314,18 +463,20 @@ impl Engine {
     /// The pre-wheel loop shape, kept verbatim for the heap baseline and
     /// the cycle box: pop → dispatch → epoch check, one queue round-trip
     /// per event.
-    fn run_loop_classic(&mut self, limit: Cycles, ops_target: u64) {
+    fn run_loop_classic(&mut self, limit: Cycles, ops_target: u64) -> Result<(), EngineError> {
         self.prime_event_queue();
         while self.live_threads > 0 && self.total_ops < ops_target {
             let Some((wake, core)) = self.pop_event(limit) else {
                 break;
             };
-            match self.dispatch(core, wake) {
+            match self.dispatch(core, wake)? {
                 Some(next) => self.wake_core(core, next),
                 None => self.sched_stats.parks += 1,
             }
+            self.maybe_faults();
             self.maybe_epoch(limit);
         }
+        Ok(())
     }
 
     /// The wheel loop: identical dispatch order to the classic loop with
@@ -340,18 +491,28 @@ impl Engine {
     ///    on every valid entry), the next epoch boundary, and the run
     ///    limit — the engine dispatches it directly, skipping the
     ///    push/pop round-trip whose outcome is already known.
-    fn run_loop_wheel(&mut self, limit: Cycles, ops_target: u64) {
+    fn run_loop_wheel(&mut self, limit: Cycles, ops_target: u64) -> Result<(), EngineError> {
         self.prime_event_queue();
         if self.live_threads == 0 || self.total_ops >= ops_target {
-            return;
+            return Ok(());
         }
         let mut first = true;
         loop {
-            let head = self.next_valid_event();
-            // The post-dispatch epoch check of the classic loop, moved to
-            // just before the next pop (no engine state changes between
-            // those two points). Never fires before the first dispatch.
+            let mut head = self.next_valid_event();
+            // The post-dispatch fault/epoch checks of the classic loop,
+            // moved to just before the next pop (no engine state changes
+            // between those two points). Never fire before the first
+            // dispatch.
             if !first {
+                if let Some((frontier, _)) = head {
+                    if frontier >= self.next_fault_at {
+                        // Fault edges may park the head's core (an
+                        // offlining) or wake another one (the drain), so
+                        // the head must be re-peeked — unlike epochs.
+                        self.apply_faults_up_to(frontier);
+                        head = self.next_valid_event();
+                    }
+                }
                 if let Some((frontier, _)) = head {
                     if frontier >= self.next_epoch {
                         // Catch-up inserts only events past the frontier
@@ -363,18 +524,18 @@ impl Engine {
             }
             first = false;
             if self.live_threads == 0 || self.total_ops >= ops_target {
-                return;
+                return Ok(());
             }
             let Some((wake, core)) = head else {
-                return;
+                return Ok(());
             };
             if wake >= limit {
-                return;
+                return Ok(());
             }
             self.take_event(wake, core);
             let mut wake = wake;
             loop {
-                let Some(next) = self.dispatch(core, wake) else {
+                let Some(next) = self.dispatch(core, wake)? else {
                     self.sched_stats.parks += 1;
                     break;
                 };
@@ -385,6 +546,7 @@ impl Engine {
                     break;
                 }
                 if next < self.next_epoch
+                    && next < self.next_fault_at
                     && next < limit
                     && self.total_ops < ops_target
                     && self.live_threads > 0
@@ -394,8 +556,9 @@ impl Engine {
                         Some(raw_head) => (next, core) < raw_head,
                     };
                     if is_min {
-                        // Both the epoch check (frontier < next_epoch) and
-                        // the pop (this entry is the minimum) are decided;
+                        // The fault gate (frontier < next_fault_at), the
+                        // epoch check (frontier < next_epoch) and the pop
+                        // (this entry is the minimum) are all decided;
                         // dispatch again without touching the queue.
                         self.sched_stats.events_processed += 1;
                         wake = next;
@@ -542,7 +705,7 @@ impl Engine {
     /// Processes one event: advances a woken parked core's clock (crediting
     /// the gap as idle time), steps the core once, and returns the cycle at
     /// which it next needs to run (`None` parks it). The caller re-queues.
-    fn dispatch(&mut self, core_idx: usize, wake: Cycles) -> Option<Cycles> {
+    fn dispatch(&mut self, core_idx: usize, wake: Cycles) -> Result<Option<Cycles>, EngineError> {
         if wake > self.cores[core_idx].clock {
             // A wake cycle ahead of the core's clock means the core had
             // nothing runnable and was woken by an arrival (migration,
@@ -588,7 +751,7 @@ impl Engine {
 
     /// Advances one core by one scheduling decision or action and returns
     /// the cycle at which it next needs to run (`None` parks the core).
-    fn step_core(&mut self, core_idx: usize) -> Option<Cycles> {
+    fn step_core(&mut self, core_idx: usize) -> Result<Option<Cycles>, EngineError> {
         let core_id = core_idx as CoreId;
         self.machine.set_time_hint(self.cores[core_idx].clock);
         if !self.cores[core_idx].inbox.is_empty() {
@@ -608,12 +771,14 @@ impl Engine {
                         core.quantum_used = 0;
                     } else {
                         // Nothing runnable: wait for the inbox or park.
-                        return self.core_next_wake(core_idx);
+                        return Ok(self.core_next_wake(core_idx));
                     }
                 }
             }
 
             // Round-robin rotation when the quantum is exhausted.
+            // Invariant: `current` is `Some` here — the match above either
+            // found it populated or populated it from a non-empty queue.
             if core.quantum_used >= self.cfg.quantum_cycles && !core.run_queue.is_empty() {
                 let cur = core.current.take().expect("current thread");
                 core.run_queue.push_back(cur);
@@ -643,11 +808,24 @@ impl Engine {
             thread.stats.actions_executed += 1;
             action
         };
-        self.execute(core_idx, tid, action);
+        self.execute(core_idx, tid, action)?;
 
         let core = &mut self.cores[core_idx];
         core.quantum_used += core.clock - before;
-        self.core_next_wake(core_idx)
+        Ok(self.core_next_wake(core_idx))
+    }
+
+    /// Scales a cycle cost by the core's fault-injected slowdown. The
+    /// healthy path (multiplier 100) is a single compare and returns `n`
+    /// unchanged, so zero-fault runs are arithmetically untouched.
+    #[inline]
+    fn scaled_cycles(&self, core_idx: usize, n: Cycles) -> Cycles {
+        let pct = self.core_slowdown[core_idx];
+        if pct == 100 {
+            n
+        } else {
+            n.saturating_mul(u64::from(pct)) / 100
+        }
     }
 
     /// Accepts migrated-in threads whose context transfer has completed.
@@ -667,8 +845,9 @@ impl Engine {
             }
         });
         for tid in arrived {
-            // Restoring the context costs the destination core cycles.
-            let restore = self.cfg.restore_context_cycles;
+            // Restoring the context costs the destination core cycles
+            // (scaled if the destination itself is running slow).
+            let restore = self.scaled_cycles(core_idx, self.cfg.restore_context_cycles);
             self.cores[core_idx].clock += restore;
             self.machine.counters_mut(core_id).busy_cycles += restore;
             self.machine.counters_mut(core_id).migrations_in += 1;
@@ -689,28 +868,45 @@ impl Engine {
     }
 
     /// Executes one action of thread `tid` on core `core_idx`.
-    fn execute(&mut self, core_idx: usize, tid: ThreadId, action: Action) {
+    fn execute(
+        &mut self,
+        core_idx: usize,
+        tid: ThreadId,
+        action: Action,
+    ) -> Result<(), EngineError> {
         let core_id = core_idx as CoreId;
         match action {
             Action::Compute(n) => {
+                let n = self.scaled_cycles(core_idx, n);
                 self.cores[core_idx].clock += n;
                 self.machine.counters_mut(core_id).busy_cycles += n;
             }
             Action::Read { addr, len } => {
                 let cost = self.machine.access(core_id, addr, len, AccessKind::Read);
-                self.cores[core_idx].clock += cost;
+                let scaled = self.scaled_cycles(core_idx, cost);
+                if scaled > cost {
+                    // Keep busy accounting in step with the clock: the
+                    // machine already charged `cost` busy cycles.
+                    self.machine.counters_mut(core_id).busy_cycles += scaled - cost;
+                }
+                self.cores[core_idx].clock += scaled;
             }
             Action::Write { addr, len } => {
                 let cost = self.machine.access(core_id, addr, len, AccessKind::Write);
-                self.cores[core_idx].clock += cost;
+                let scaled = self.scaled_cycles(core_idx, cost);
+                if scaled > cost {
+                    self.machine.counters_mut(core_id).busy_cycles += scaled - cost;
+                }
+                self.cores[core_idx].clock += scaled;
             }
-            Action::Lock(lock) => self.exec_lock(core_idx, tid, lock),
-            Action::Unlock(lock) => self.exec_unlock(core_idx, tid, lock),
-            Action::CtStart(object) => self.exec_ct_start(core_idx, tid, object),
-            Action::CtEnd => self.exec_ct_end(core_idx, tid),
+            Action::Lock(lock) => self.exec_lock(core_idx, tid, lock)?,
+            Action::Unlock(lock) => self.exec_unlock(core_idx, tid, lock)?,
+            Action::CtStart(object) => self.exec_ct_start(core_idx, tid, object)?,
+            Action::CtEnd => self.exec_ct_end(core_idx, tid)?,
             Action::Yield => {
-                self.cores[core_idx].clock += self.cfg.yield_cycles;
-                self.machine.counters_mut(core_id).busy_cycles += self.cfg.yield_cycles;
+                let cost = self.scaled_cycles(core_idx, self.cfg.yield_cycles);
+                self.cores[core_idx].clock += cost;
+                self.machine.counters_mut(core_id).busy_cycles += cost;
                 if !self.cores[core_idx].run_queue.is_empty() {
                     self.cores[core_idx].run_queue.push_back(tid);
                     self.cores[core_idx].current = None;
@@ -723,26 +919,35 @@ impl Engine {
                 self.live_threads -= 1;
             }
         }
+        Ok(())
     }
 
-    fn exec_lock(&mut self, core_idx: usize, tid: ThreadId, lock: LockId) {
+    fn exec_lock(
+        &mut self,
+        core_idx: usize,
+        tid: ThreadId,
+        lock: LockId,
+    ) -> Result<(), EngineError> {
         let core_id = core_idx as CoreId;
         let addr = self
             .locks
             .info(lock)
-            .unwrap_or_else(|| panic!("thread {tid} used unregistered lock {lock}"))
+            .ok_or(EngineError::UnregisteredLock { thread: tid, lock })?
             .addr;
+        // Invariant: `info` above proved the lock id is registered.
         let acquired = self
             .locks
             .try_acquire(lock, tid)
             .expect("lock id verified above");
         if acquired {
-            let cost =
-                self.cfg.lock_op_cycles + self.machine.access(core_id, addr, 8, AccessKind::Write);
+            let cost = self.scaled_cycles(core_idx, self.cfg.lock_op_cycles)
+                + self.machine.access(core_id, addr, 8, AccessKind::Write);
             self.cores[core_idx].clock += cost;
-            self.machine.counters_mut(core_id).busy_cycles += self.cfg.lock_op_cycles;
+            self.machine.counters_mut(core_id).busy_cycles +=
+                self.scaled_cycles(core_idx, self.cfg.lock_op_cycles);
         } else {
             // The lock is held by another thread.
+            // Invariant: `try_acquire` returned false, so a holder exists.
             let holder = self.locks.holder(lock).expect("contended lock has holder");
             let holder_here = self.locations[holder] == Some(core_id);
             // Retry the acquisition next time this thread runs.
@@ -751,10 +956,11 @@ impl Engine {
                 // Block instead of spinning: charge the failed probe, then
                 // sleep until the holder's release wakes this thread (and,
                 // if need be, un-parks this core).
-                let cost = self.cfg.lock_spin_cycles
+                let cost = self.scaled_cycles(core_idx, self.cfg.lock_spin_cycles)
                     + self.machine.access(core_id, addr, 8, AccessKind::Read);
                 self.cores[core_idx].clock += cost;
-                self.machine.counters_mut(core_id).busy_cycles += self.cfg.lock_spin_cycles;
+                self.machine.counters_mut(core_id).busy_cycles +=
+                    self.scaled_cycles(core_idx, self.cfg.lock_spin_cycles);
                 self.threads[tid].stats.lock_wait_cycles += cost;
                 self.threads[tid].state = ThreadState::Blocked;
                 self.locks.push_waiter(lock, tid);
@@ -762,39 +968,54 @@ impl Engine {
             } else if holder_here && !self.cores[core_idx].run_queue.is_empty() {
                 // Spinning would deadlock a cooperative core: yield to let
                 // the holder make progress.
-                self.cores[core_idx].clock += self.cfg.yield_cycles;
-                self.machine.counters_mut(core_id).busy_cycles += self.cfg.yield_cycles;
+                let cost = self.scaled_cycles(core_idx, self.cfg.yield_cycles);
+                self.cores[core_idx].clock += cost;
+                self.machine.counters_mut(core_id).busy_cycles += cost;
                 self.cores[core_idx].run_queue.push_back(tid);
                 self.cores[core_idx].current = None;
             } else {
                 // Spin: re-read the lock word and burn the retry cost.
-                let cost = self.cfg.lock_spin_cycles
+                let cost = self.scaled_cycles(core_idx, self.cfg.lock_spin_cycles)
                     + self.machine.access(core_id, addr, 8, AccessKind::Read);
                 self.cores[core_idx].clock += cost;
-                self.machine.counters_mut(core_id).busy_cycles += self.cfg.lock_spin_cycles;
+                self.machine.counters_mut(core_id).busy_cycles +=
+                    self.scaled_cycles(core_idx, self.cfg.lock_spin_cycles);
                 self.threads[tid].stats.lock_wait_cycles += cost;
             }
         }
+        Ok(())
     }
 
-    fn exec_unlock(&mut self, core_idx: usize, tid: ThreadId, lock: LockId) {
+    fn exec_unlock(
+        &mut self,
+        core_idx: usize,
+        tid: ThreadId,
+        lock: LockId,
+    ) -> Result<(), EngineError> {
         let core_id = core_idx as CoreId;
         let addr = self
             .locks
             .info(lock)
-            .unwrap_or_else(|| panic!("thread {tid} used unregistered lock {lock}"))
+            .ok_or(EngineError::UnregisteredLock { thread: tid, lock })?
             .addr;
         self.locks
             .release(lock, tid)
-            .unwrap_or_else(|e| panic!("thread {tid} failed to release lock {lock}: {e:?}"));
-        let cost =
-            self.cfg.lock_op_cycles + self.machine.access(core_id, addr, 8, AccessKind::Write);
+            .map_err(|e| EngineError::LockReleaseFailed {
+                thread: tid,
+                lock,
+                error: e,
+            })?;
+        let cost = self.scaled_cycles(core_idx, self.cfg.lock_op_cycles)
+            + self.machine.access(core_id, addr, 8, AccessKind::Write);
         self.cores[core_idx].clock += cost;
-        self.machine.counters_mut(core_id).busy_cycles += self.cfg.lock_op_cycles;
+        self.machine.counters_mut(core_id).busy_cycles +=
+            self.scaled_cycles(core_idx, self.cfg.lock_op_cycles);
         // A release is a wake-up source: hand the lock's first waiter back
         // to its core's run queue and un-park that core if necessary.
         if self.cfg.blocking_locks {
             if let Some(waiter) = self.locks.pop_waiter(lock) {
+                // Invariant: a blocked thread keeps its location until it
+                // exits; offlining relocates blocked threads explicitly.
                 let dest = self.locations[waiter].expect("blocked thread lives on a core");
                 self.threads[waiter].state = ThreadState::Runnable;
                 self.cores[dest as usize].run_queue.push_back(waiter);
@@ -807,14 +1028,19 @@ impl Engine {
                 self.sched_stats.lock_wakeups += 1;
             }
         }
+        Ok(())
     }
 
-    fn exec_ct_start(&mut self, core_idx: usize, tid: ThreadId, object_key: ObjectId) {
+    fn exec_ct_start(
+        &mut self,
+        core_idx: usize,
+        tid: ThreadId,
+        object_key: ObjectId,
+    ) -> Result<(), EngineError> {
         let core_id = core_idx as CoreId;
-        assert!(
-            !self.threads[tid].in_operation(),
-            "thread {tid}: ct_start inside an operation"
-        );
+        if self.threads[tid].in_operation() {
+            return Err(EngineError::NestedCtStart { thread: tid });
+        }
         // Interning is the "table lookup" of the paper's ct_start: one
         // probe of the flat index, after which the policy works purely
         // with dense ids.
@@ -844,23 +1070,28 @@ impl Engine {
             let valid = (dest as usize) < self.cores.len();
             debug_assert!(valid, "policy placed an operation on invalid core {dest}");
             if valid && dest != core_id && self.cfg.migration_enabled {
-                if let Some(op) = self.threads[tid].current_op.as_mut() {
-                    op.exec_core = dest;
-                    op.migrated = true;
-                    op.counter_base_pending = true;
+                // The send can fail over a lossy interconnect (or be
+                // redirected off an offlined core): only a completed
+                // migration marks the op as executing remotely.
+                if let Some(landed) = self.migrate(core_idx, tid, dest) {
+                    if let Some(op) = self.threads[tid].current_op.as_mut() {
+                        op.exec_core = landed;
+                        op.migrated = true;
+                        op.counter_base_pending = true;
+                    }
+                    self.threads[tid].stats.migrations += 1;
                 }
-                self.threads[tid].stats.migrations += 1;
-                self.migrate(core_idx, tid, dest);
             }
         }
+        Ok(())
     }
 
-    fn exec_ct_end(&mut self, core_idx: usize, tid: ThreadId) {
+    fn exec_ct_end(&mut self, core_idx: usize, tid: ThreadId) -> Result<(), EngineError> {
         let core_id = core_idx as CoreId;
         let op = self.threads[tid]
             .current_op
             .take()
-            .unwrap_or_else(|| panic!("thread {tid}: ct_end without ct_start"));
+            .ok_or(EngineError::CtEndWithoutCtStart { thread: tid })?;
         let delta = self.machine.counters(core_id).delta_since(&op.counter_base);
         let ctx = OpContext {
             thread: tid,
@@ -887,24 +1118,73 @@ impl Engine {
             && home != core_id
         {
             self.threads[tid].rehome_pending = false;
-            self.threads[tid].stats.returns_home += 1;
-            self.migrate(core_idx, tid, home);
+            if self.migrate(core_idx, tid, home).is_some() {
+                self.threads[tid].stats.returns_home += 1;
+            }
         } else if rehome && home == core_id {
             self.threads[tid].rehome_pending = false;
         }
+        Ok(())
     }
 
     /// Moves thread `tid` (currently running on `core_idx`) to `dest`: saves
     /// the context, charges the transfer, and enqueues it in the
     /// destination's migration inbox.
-    fn migrate(&mut self, core_idx: usize, tid: ThreadId, dest: CoreId) {
+    ///
+    /// Over a fault-degraded interconnect the context message can be lost;
+    /// the sender then retries with doubling backoff (charged as busy time
+    /// on the source core) up to `migration_max_retries` attempts or the
+    /// `migration_timeout_cycles` budget, whichever runs out first. An
+    /// offlined destination is silently redirected to the next live core.
+    /// Returns the core the thread actually landed on, or `None` if the
+    /// migration was abandoned (the thread stays where it is).
+    fn migrate(&mut self, core_idx: usize, tid: ThreadId, dest: CoreId) -> Option<CoreId> {
         let core_id = core_idx as CoreId;
-        let save = self.cfg.save_context_cycles;
+        // Never deliver to a dead core: fall back to the next live one.
+        let dest = if self.core_offline[dest as usize] {
+            self.fallback_core(dest)
+        } else {
+            dest
+        };
+        if dest == core_id {
+            return None;
+        }
+
+        // Resolve the wire transfer first: on a healthy link this is one
+        // infallible send, exactly the pre-fault-plane behaviour.
+        let mut wire = self.machine.try_migration_transfer(core_id, dest);
+        if wire.is_none() {
+            let mut backoff = self.cfg.migration_retry_backoff_cycles;
+            let mut waited: Cycles = 0;
+            for _ in 0..self.cfg.migration_max_retries {
+                if waited.saturating_add(backoff) > self.cfg.migration_timeout_cycles {
+                    break;
+                }
+                self.sched_stats.migration_retries += 1;
+                // The backoff wait burns time on the source core.
+                self.cores[core_idx].clock += backoff;
+                self.machine.counters_mut(core_id).busy_cycles += backoff;
+                self.threads[tid].stats.migration_cycles += backoff;
+                waited += backoff;
+                backoff = backoff.saturating_mul(2);
+                self.machine.set_time_hint(self.cores[core_idx].clock);
+                wire = self.machine.try_migration_transfer(core_id, dest);
+                if wire.is_some() {
+                    break;
+                }
+            }
+        }
+        let Some(wire) = wire else {
+            // Retries exhausted or timed out: run the operation locally.
+            self.sched_stats.migration_failures += 1;
+            return None;
+        };
+
+        let save = self.scaled_cycles(core_idx, self.cfg.save_context_cycles);
         self.cores[core_idx].clock += save;
         self.machine.counters_mut(core_id).busy_cycles += save;
         self.machine.counters_mut(core_id).migrations_out += 1;
 
-        let wire = self.machine.migration_transfer(core_id, dest);
         // Average polling delay at the destination.
         let poll_wait = self.cfg.poll_interval_cycles / 2;
         let ready_at = self.cores[core_idx].clock + wire + poll_wait;
@@ -922,6 +1202,7 @@ impl Engine {
         // A migration arrival is a wake-up source for the (possibly
         // parked) destination core.
         self.wake_core(dest as usize, ready_at);
+        Some(dest)
     }
 
     /// Fires policy epochs once the virtual-time frontier has crossed the
@@ -1003,6 +1284,12 @@ impl Engine {
                 if self.threads[thread].is_done() {
                     return;
                 }
+                // A rehome onto an offlined core lands on its fallback.
+                let core = if self.core_offline[core as usize] {
+                    self.fallback_core(core)
+                } else {
+                    core
+                };
                 self.threads[thread].home_core = core;
                 // If the thread is sitting in a run queue (not currently
                 // running and not mid-migration), move it physically now;
@@ -1041,6 +1328,162 @@ impl Engine {
                 }
             }
         }
+    }
+
+    // ---- the fault plane ---------------------------------------------------
+
+    /// The classic loop's post-dispatch fault check: a no-op single
+    /// compare while no fault plan is installed (or all edges fired).
+    fn maybe_faults(&mut self) {
+        if self.next_fault_at == PARKED {
+            return;
+        }
+        if let Some(frontier) = self.peek_valid_wake() {
+            if frontier >= self.next_fault_at {
+                self.apply_faults_up_to(frontier);
+            }
+        }
+    }
+
+    /// Applies every pending fault edge at or before `frontier`, in
+    /// schedule order.
+    fn apply_faults_up_to(&mut self, frontier: Cycles) {
+        while self.next_fault_at <= frontier {
+            let edge = self.fault_edges[self.next_fault_idx];
+            self.next_fault_idx += 1;
+            self.next_fault_at = self
+                .fault_edges
+                .get(self.next_fault_idx)
+                .map_or(PARKED, |e| e.at);
+            self.apply_fault(edge);
+        }
+    }
+
+    fn apply_fault(&mut self, edge: FaultEdge) {
+        self.sched_stats.faults_applied += 1;
+        match edge.action {
+            FaultAction::SlowStart { core, percent } => {
+                if !self.core_offline[core] {
+                    self.core_slowdown[core] = percent;
+                    self.sched_stats.cores_slowed += 1;
+                    self.policy.core_degraded(core as CoreId, percent);
+                }
+            }
+            FaultAction::SlowEnd { core } => {
+                if !self.core_offline[core] && self.core_slowdown[core] != 100 {
+                    self.core_slowdown[core] = 100;
+                    self.policy.core_degraded(core as CoreId, 100);
+                }
+            }
+            FaultAction::Offline { core } => self.offline_core(core, edge.at),
+            FaultAction::DegradeStart { deg } => {
+                self.machine
+                    .set_interconnect_degradation(Some(deg), self.fault_seed);
+            }
+            FaultAction::DegradeEnd => {
+                self.machine
+                    .set_interconnect_degradation(None, self.fault_seed);
+            }
+        }
+    }
+
+    /// The next live core after `core` in cyclic id order — where an
+    /// offlined core's work goes. Falls back to `core` itself only if
+    /// every other core is down (a state `FaultPlan::validate` rejects).
+    fn fallback_core(&self, core: CoreId) -> CoreId {
+        let n = self.cores.len();
+        for step in 1..n {
+            let c = (core as usize + step) % n;
+            if !self.core_offline[c] {
+                return c as CoreId;
+            }
+        }
+        core
+    }
+
+    /// Takes a core permanently offline at virtual time `at`: notifies
+    /// the policy (so placements stop targeting it), then drains its
+    /// running thread, run queue, and in-flight inbox arrivals to the
+    /// next live core, re-pins the homes of every thread homed there, and
+    /// parks the core forever.
+    fn offline_core(&mut self, core: usize, at: Cycles) {
+        if self.core_offline[core] {
+            return;
+        }
+        if self.core_offline.iter().filter(|&&down| !down).count() <= 1 {
+            // The last live core cannot go down: the work has nowhere to
+            // drain. (FaultPlan::validate rejects such plans up front.)
+            return;
+        }
+        self.core_offline[core] = true;
+        self.core_slowdown[core] = 100;
+        self.sched_stats.cores_offlined += 1;
+        // Policy first: CoreTime re-homes the dead core's objects before
+        // any drained thread issues its next ct_start.
+        self.policy.core_down(core as CoreId);
+
+        let fallback = self.fallback_core(core as CoreId);
+        let dest = fallback as usize;
+
+        // Drain the runnable threads: current first, then queue order —
+        // a deterministic order for the fallback core's inbox.
+        let mut drained: Vec<ThreadId> = Vec::new();
+        if let Some(cur) = self.cores[core].current.take() {
+            drained.push(cur);
+        }
+        while let Some(t) = self.cores[core].run_queue.pop_front() {
+            drained.push(t);
+        }
+        let in_flight: Vec<Incoming> = std::mem::take(&mut self.cores[core].inbox);
+
+        let base = self.cores[core].clock.max(self.cores[dest].clock);
+        let ready_at = base + self.cfg.expected_migration_cycles();
+        let mut last_ready = at;
+        for tid in drained {
+            self.threads[tid].state = ThreadState::Migrating;
+            self.threads[tid].home_core = fallback;
+            self.locations[tid] = Some(fallback);
+            self.cores[dest].inbox.push(Incoming {
+                thread: tid,
+                ready_at,
+            });
+            self.wake_core(dest, ready_at);
+            self.sched_stats.threads_repinned += 1;
+            last_ready = last_ready.max(ready_at);
+        }
+        for inc in in_flight {
+            // An arrival already in transit is re-routed: it completes its
+            // original transfer, then pays one more migration to reach the
+            // fallback core.
+            let rerouted = inc.ready_at.max(base) + self.cfg.expected_migration_cycles();
+            self.locations[inc.thread] = Some(fallback);
+            self.threads[inc.thread].home_core = fallback;
+            self.cores[dest].inbox.push(Incoming {
+                thread: inc.thread,
+                ready_at: rerouted,
+            });
+            self.wake_core(dest, rerouted);
+            self.sched_stats.threads_repinned += 1;
+            last_ready = last_ready.max(rerouted);
+        }
+        // Threads homed on the dead core but currently elsewhere (blocked,
+        // migrated out, or queued on another core) re-pin their homes; a
+        // blocked thread's recorded location moves too, so a later lock
+        // hand-off wakes a live core.
+        for t in 0..self.threads.len() {
+            if self.threads[t].is_done() {
+                continue;
+            }
+            if self.threads[t].home_core == core as CoreId {
+                self.threads[t].home_core = fallback;
+            }
+            if self.locations[t] == Some(core as CoreId) {
+                self.locations[t] = Some(fallback);
+            }
+        }
+        // The dead core never dispatches again.
+        self.sched_wake[core] = PARKED;
+        self.sched_stats.recovery_cycles += last_ready.saturating_sub(at);
     }
 }
 

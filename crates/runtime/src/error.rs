@@ -1,0 +1,101 @@
+//! Typed errors for the execution engine.
+//!
+//! The engine's fallible paths — misuse of the `ct_start`/`ct_end`
+//! annotations and lock misuse by a thread behaviour — surface as
+//! [`EngineError`] through the `try_run_*` entry points. The plain
+//! `run_until_*` entry points panic with the same message text
+//! ([`EngineError`]'s `Display`), preserving the original behaviour for
+//! callers that treat behaviour bugs as programming errors.
+
+use crate::sync::LockError;
+use crate::types::{LockId, ThreadId};
+
+/// An error raised while executing thread behaviours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// A thread issued `Lock`/`Unlock` on a lock id that was never
+    /// registered with the engine.
+    UnregisteredLock {
+        /// The offending thread.
+        thread: ThreadId,
+        /// The unknown lock id.
+        lock: LockId,
+    },
+    /// A thread released a lock it did not hold (or an unknown lock).
+    LockReleaseFailed {
+        /// The offending thread.
+        thread: ThreadId,
+        /// The lock id.
+        lock: LockId,
+        /// The underlying registry error.
+        error: LockError,
+    },
+    /// A thread issued `ct_end` without a preceding `ct_start`.
+    CtEndWithoutCtStart {
+        /// The offending thread.
+        thread: ThreadId,
+    },
+    /// A thread issued `ct_start` while already inside an operation.
+    NestedCtStart {
+        /// The offending thread.
+        thread: ThreadId,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnregisteredLock { thread, lock } => {
+                write!(f, "thread {thread} used unregistered lock {lock}")
+            }
+            EngineError::LockReleaseFailed {
+                thread,
+                lock,
+                error,
+            } => {
+                write!(
+                    f,
+                    "thread {thread} failed to release lock {lock}: {error:?}"
+                )
+            }
+            EngineError::CtEndWithoutCtStart { thread } => {
+                write!(f, "thread {thread}: ct_end without ct_start")
+            }
+            EngineError::NestedCtStart { thread } => {
+                write!(f, "thread {thread}: ct_start inside an operation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_the_legacy_panic_messages() {
+        assert_eq!(
+            EngineError::UnregisteredLock { thread: 3, lock: 7 }.to_string(),
+            "thread 3 used unregistered lock 7"
+        );
+        assert_eq!(
+            EngineError::LockReleaseFailed {
+                thread: 1,
+                lock: 2,
+                error: LockError::NotHolder,
+            }
+            .to_string(),
+            "thread 1 failed to release lock 2: NotHolder"
+        );
+        assert_eq!(
+            EngineError::CtEndWithoutCtStart { thread: 0 }.to_string(),
+            "thread 0: ct_end without ct_start"
+        );
+        assert_eq!(
+            EngineError::NestedCtStart { thread: 9 }.to_string(),
+            "thread 9: ct_start inside an operation"
+        );
+    }
+}

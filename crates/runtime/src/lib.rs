@@ -40,6 +40,7 @@ pub mod action;
 pub mod behaviour;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod object_index;
 pub mod policy;
 pub mod stats;
@@ -55,9 +56,11 @@ pub use behaviour::{
 };
 pub use config::{EventCoreKind, RuntimeConfig};
 pub use engine::Engine;
+pub use error::EngineError;
 pub use object_index::ObjectIndex;
 pub use policy::{
-    EpochView, NullPolicy, OpContext, Placement, PolicyCommand, SchedPolicy, StaticPolicy,
+    EpochView, NullPolicy, OpContext, Placement, PolicyCommand, PolicyFaultStats, SchedPolicy,
+    StaticPolicy,
 };
 pub use stats::{RunWindow, SchedStats};
 pub use sync::{LockError, LockInfo, LockRegistry};
@@ -66,5 +69,7 @@ pub use types::{CoreId, Cycles, DenseObjectId, LockId, ObjectId, ThreadId};
 pub use wheel::{TimingWheel, WheelStats, WHEEL_HORIZON};
 
 // Re-exported for convenience: policies receive these simulator types in
-// their callbacks.
-pub use o2_sim::{CounterDelta, Machine, MemStats};
+// their callbacks, and fault plans are installed through the engine.
+pub use o2_sim::{
+    CounterDelta, FaultEvent, FaultKind, FaultPlan, LinkDegradation, Machine, MemStats,
+};

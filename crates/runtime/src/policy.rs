@@ -68,6 +68,24 @@ pub enum PolicyCommand {
     },
 }
 
+/// Fault-handling counters a policy exposes through
+/// [`SchedPolicy::fault_stats`]. The defaults are all zero; policies that
+/// ignore faults (and rely on the engine's fallback re-pinning) report
+/// zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyFaultStats {
+    /// `core_down` notifications received.
+    pub core_down_events: u64,
+    /// Objects (or static pins) moved off a dead core onto live ones.
+    pub objects_rehomed: u64,
+    /// Objects that could not be re-placed after an offlining and fell
+    /// back to hardware management.
+    pub objects_stranded: u64,
+    /// Migrations the policy skipped because the target core was degraded
+    /// (the "migration flips to data movement" path).
+    pub degraded_avoids: u64,
+}
+
 /// A scheduling policy.
 ///
 /// All methods have defaults equivalent to a traditional thread scheduler:
@@ -97,6 +115,24 @@ pub trait SchedPolicy {
     /// returns commands for the engine to apply.
     fn on_epoch(&mut self, _view: &EpochView<'_>) -> Vec<PolicyCommand> {
         Vec::new()
+    }
+
+    /// Called when the fault plan takes a core permanently offline,
+    /// *before* the engine drains the core's threads — so the policy can
+    /// stop placing work there immediately. The default does nothing; the
+    /// engine's fallback (re-pin to the next live core) covers policies
+    /// that ignore this.
+    fn core_down(&mut self, _core: CoreId) {}
+
+    /// Called when a core's effective speed changes: `slowdown_percent`
+    /// is the new cost multiplier in percent of nominal (400 = 4x
+    /// slower); 100 means the core recovered. Also fired for an offlined
+    /// core's slowdown window ending, if any.
+    fn core_degraded(&mut self, _core: CoreId, _slowdown_percent: u32) {}
+
+    /// Fault-handling counters, for diagnostics and experiments.
+    fn fault_stats(&self) -> PolicyFaultStats {
+        PolicyFaultStats::default()
     }
 }
 

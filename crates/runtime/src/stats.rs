@@ -31,6 +31,21 @@ pub struct SchedStats {
     pub wheel_overflows: u64,
     /// Largest same-cycle dispatch batch the wheel staged at once.
     pub wheel_max_batch: u64,
+    /// Fault-plan edges applied (window starts and ends each count once).
+    pub faults_applied: u64,
+    /// Cores taken permanently offline by the fault plan.
+    pub cores_offlined: u64,
+    /// Core slowdown windows opened by the fault plan.
+    pub cores_slowed: u64,
+    /// Migration sends retried after a loss on a degraded interconnect.
+    pub migration_retries: u64,
+    /// Migrations abandoned after the retry budget or timeout ran out.
+    pub migration_failures: u64,
+    /// Threads drained off an offlined core and re-pinned to a live one.
+    pub threads_repinned: u64,
+    /// Cycles between each offlining and the arrival of its last drained
+    /// thread at the fallback core — how long recovery took.
+    pub recovery_cycles: u64,
 }
 
 /// Result of running the engine over a measurement window.

@@ -9,6 +9,7 @@
 //! DRAM bank); we model the spread with hop counts.
 
 use crate::config::ContentionModel;
+use crate::fault::{splitmix64, LinkDegradation};
 
 /// Kinds of messages carried by the interconnect, tracked separately so
 /// experiments can report coherence traffic versus data traffic.
@@ -39,6 +40,10 @@ pub struct InterconnectStats {
     pub hop_traffic: u64,
     /// Extra cycles added by contention across all messages.
     pub contention_cycles: u64,
+    /// Migration messages dropped by a degraded link (fault injection).
+    pub migrations_lost: u64,
+    /// Extra cycles charged by link degradation (fault injection).
+    pub degradation_cycles: u64,
 }
 
 impl InterconnectStats {
@@ -60,6 +65,14 @@ pub struct Interconnect {
     window_start: u64,
     /// Utilization of the previous window (0.0–1.0).
     last_utilization: f64,
+    /// Fault-injected link degradation; `None` (the default) disables the
+    /// fault plane entirely — no loss draws, no extra latency.
+    degradation: Option<LinkDegradation>,
+    /// Seed for the migration-loss draws.
+    loss_seed: u64,
+    /// Number of loss draws made so far (the draw counter is the only
+    /// RNG state, so degraded runs replay exactly).
+    loss_draws: u64,
 }
 
 impl Interconnect {
@@ -72,7 +85,43 @@ impl Interconnect {
             window_busy: 0,
             window_start: 0,
             last_utilization: 0.0,
+            degradation: None,
+            loss_seed: 0,
+            loss_draws: 0,
         }
+    }
+
+    /// Installs (or clears, with `None`) fault-injected link degradation.
+    /// `seed` feeds the deterministic migration-loss draws.
+    pub fn set_degradation(&mut self, degradation: Option<LinkDegradation>, seed: u64) {
+        self.degradation = degradation;
+        if degradation.is_some() {
+            self.loss_seed = seed;
+        }
+    }
+
+    /// The currently installed degradation, if any.
+    pub fn degradation(&self) -> Option<LinkDegradation> {
+        self.degradation
+    }
+
+    /// Draws whether the next migration message is lost on a degraded
+    /// link. Never draws (and always returns `false`) while the link is
+    /// healthy, so healthy runs consume no randomness at all.
+    pub fn lose_migration(&mut self) -> bool {
+        let Some(deg) = self.degradation else {
+            return false;
+        };
+        if deg.loss_per_mille == 0 {
+            return false;
+        }
+        self.loss_draws += 1;
+        let draw = splitmix64(self.loss_seed ^ self.loss_draws.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let lost = draw % 1000 < u64::from(deg.loss_per_mille.min(1000));
+        if lost {
+            self.stats.migrations_lost += 1;
+        }
+        lost
     }
 
     /// Number of chips connected.
@@ -145,28 +194,39 @@ impl Interconnect {
         }
         self.stats.hop_traffic += u64::from(hops);
 
-        match self.contention {
-            ContentionModel::None => 0,
-            ContentionModel::Linear { slope, window } => {
-                // Roll the utilization window forward if needed.
-                if now >= self.window_start + window {
-                    let elapsed = (now - self.window_start).max(1);
-                    self.last_utilization = (self.window_busy as f64 / elapsed as f64).min(1.0);
-                    self.window_start = now;
-                    self.window_busy = 0;
-                }
-                if hops > 0 {
-                    self.window_busy += busy_cycles;
-                }
-                let penalty = (slope as f64 * self.last_utilization) as u64;
-                if hops > 0 && penalty > 0 {
-                    self.stats.contention_cycles += penalty;
-                    penalty
-                } else {
-                    0
+        // A degraded link slows every off-chip message, hop by hop.
+        let degraded_extra = match self.degradation {
+            Some(deg) if hops > 0 => {
+                let extra = deg.extra_cycles_per_hop.saturating_mul(u64::from(hops));
+                self.stats.degradation_cycles += extra;
+                extra
+            }
+            _ => 0,
+        };
+
+        degraded_extra
+            + match self.contention {
+                ContentionModel::None => 0,
+                ContentionModel::Linear { slope, window } => {
+                    // Roll the utilization window forward if needed.
+                    if now >= self.window_start + window {
+                        let elapsed = (now - self.window_start).max(1);
+                        self.last_utilization = (self.window_busy as f64 / elapsed as f64).min(1.0);
+                        self.window_start = now;
+                        self.window_busy = 0;
+                    }
+                    if hops > 0 {
+                        self.window_busy += busy_cycles;
+                    }
+                    let penalty = (slope as f64 * self.last_utilization) as u64;
+                    if hops > 0 && penalty > 0 {
+                        self.stats.contention_cycles += penalty;
+                        penalty
+                    } else {
+                        0
+                    }
                 }
             }
-        }
     }
 
     /// Current interconnect statistics.
@@ -278,6 +338,51 @@ mod tests {
         }
         let penalty = ic.send(MessageKind::LineTransfer, 2, 2, 1000, 50);
         assert_eq!(penalty, 0);
+    }
+
+    #[test]
+    fn degraded_link_charges_extra_per_hop() {
+        let mut ic = Interconnect::new(4, ContentionModel::None);
+        assert_eq!(ic.send(MessageKind::LineTransfer, 0, 3, 0, 80), 0);
+        ic.set_degradation(
+            Some(LinkDegradation {
+                loss_per_mille: 0,
+                extra_cycles_per_hop: 100,
+            }),
+            7,
+        );
+        // Two hops on the diagonal -> 200 extra cycles; local sends free.
+        assert_eq!(ic.send(MessageKind::LineTransfer, 0, 3, 10, 80), 200);
+        assert_eq!(ic.send(MessageKind::LineTransfer, 2, 2, 20, 80), 0);
+        assert_eq!(ic.stats().degradation_cycles, 200);
+        ic.set_degradation(None, 0);
+        assert_eq!(ic.send(MessageKind::LineTransfer, 0, 3, 30, 80), 0);
+    }
+
+    #[test]
+    fn migration_loss_is_deterministic_and_healthy_links_never_draw() {
+        let run = |seed: u64| {
+            let mut ic = Interconnect::new(4, ContentionModel::None);
+            ic.set_degradation(
+                Some(LinkDegradation {
+                    loss_per_mille: 500,
+                    extra_cycles_per_hop: 0,
+                }),
+                seed,
+            );
+            (0..64).map(|_| ic.lose_migration()).collect::<Vec<bool>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+        // Roughly half the draws are losses at 500 per-mille.
+        let losses = run(42).iter().filter(|&&l| l).count();
+        assert!((16..=48).contains(&losses), "losses = {losses}");
+
+        let mut healthy = Interconnect::new(4, ContentionModel::None);
+        for _ in 0..100 {
+            assert!(!healthy.lose_migration());
+        }
+        assert_eq!(healthy.stats().migrations_lost, 0);
     }
 
     #[test]

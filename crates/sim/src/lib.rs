@@ -47,6 +47,7 @@ pub mod cache;
 pub mod config;
 pub mod counters;
 pub mod directory;
+pub mod fault;
 pub mod interconnect;
 pub mod latency;
 pub mod machine;
@@ -58,6 +59,7 @@ pub use cache::{Cache, Evicted, LineAddr, Probe};
 pub use config::{CacheGeometry, ContentionModel, LatencyConfig, MachineConfig};
 pub use counters::{CoreCounters, CounterDelta, MachineCounters, MemStats};
 pub use directory::{FlatDirectory, LineHolders};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, LinkDegradation};
 pub use interconnect::{Interconnect, InterconnectStats, MessageKind};
 pub use latency::{AccessOutcome, LatencyModel};
 pub use machine::{AccessKind, Machine};

@@ -517,6 +517,39 @@ impl Machine {
         base + penalty
     }
 
+    /// Like [`Machine::migration_transfer`], but over a possibly degraded
+    /// interconnect: returns `None` when the context message is lost in
+    /// transit (the sender must retry), `Some(wire_cost)` otherwise. On a
+    /// healthy link this is exactly `migration_transfer` — no draws.
+    pub fn try_migration_transfer(&mut self, from_core: u32, to_core: u32) -> Option<u64> {
+        if self.interconnect.lose_migration() {
+            // The lost message still occupied the wire: account it.
+            let from_chip = self.cfg.chip_of(from_core);
+            let to_chip = self.cfg.chip_of(to_core);
+            let hops = self.interconnect.hops(from_chip, to_chip);
+            let base = u64::from(hops) * self.lat.config().remote_cache_one_hop / 2;
+            self.interconnect.send(
+                MessageKind::Migration,
+                from_chip,
+                to_chip,
+                self.now_hint,
+                base.max(1),
+            );
+            return None;
+        }
+        Some(self.migration_transfer(from_core, to_core))
+    }
+
+    /// Installs (or clears) fault-injected interconnect degradation; the
+    /// seed feeds the deterministic migration-loss draws.
+    pub fn set_interconnect_degradation(
+        &mut self,
+        degradation: Option<crate::fault::LinkDegradation>,
+        seed: u64,
+    ) {
+        self.interconnect.set_degradation(degradation, seed);
+    }
+
     // ---- internal helpers -------------------------------------------------
 
     /// Picks an arbitrary chip at the given hop distance (used only to

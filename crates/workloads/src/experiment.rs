@@ -103,6 +103,10 @@ impl Experiment {
             engine.spawn(core, Box::new(OpBehaviour::new(gen)));
         }
 
+        // Install the fault schedule last, so an `at = 0` edge still fires
+        // after every thread exists. An empty plan is a no-op.
+        engine.set_fault_plan(&spec.fault_plan);
+
         Self {
             spec,
             engine,

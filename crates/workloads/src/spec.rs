@@ -2,7 +2,7 @@
 
 use o2_fs::LookupCost;
 use o2_runtime::RuntimeConfig;
-use o2_sim::MachineConfig;
+use o2_sim::{FaultPlan, MachineConfig};
 
 /// How threads choose which directory to look up in.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +62,10 @@ pub struct WorkloadSpec {
     pub warmup_ops: u64,
     /// Length of the measurement window, in cycles.
     pub measure_cycles: u64,
+    /// Deterministic fault schedule injected during the run. The default
+    /// (empty) plan is guaranteed not to perturb the simulation — runs
+    /// stay bit-identical to a build without the fault plane.
+    pub fault_plan: FaultPlan,
 }
 
 impl WorkloadSpec {
@@ -81,7 +85,14 @@ impl WorkloadSpec {
             seed: 42,
             warmup_ops: (6 * n_dirs as u64).max(2_000),
             measure_cycles: 3_000_000,
+            fault_plan: FaultPlan::empty(),
         }
+    }
+
+    /// Installs a fault schedule for the run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
     }
 
     /// Derives the directory count from a target total data size in
@@ -164,6 +175,7 @@ impl WorkloadSpec {
             }
             Popularity::Uniform => {}
         }
+        self.fault_plan.validate(self.machine.total_cores())?;
         Ok(())
     }
 }

@@ -423,6 +423,7 @@ fn goldens() -> Vec<Golden> {
                 migrations_requested: 22415,
                 local_operations: 1585,
                 epochs: 8,
+                ..O2Stats::default()
             },
         },
         Golden {
@@ -439,6 +440,7 @@ fn goldens() -> Vec<Golden> {
                 migrations_requested: 13610,
                 local_operations: 6390,
                 epochs: 20,
+                ..O2Stats::default()
             },
         },
         Golden {
@@ -455,6 +457,7 @@ fn goldens() -> Vec<Golden> {
                 migrations_requested: 36484,
                 local_operations: 3516,
                 epochs: 8,
+                ..O2Stats::default()
             },
         },
         Golden {
@@ -471,6 +474,7 @@ fn goldens() -> Vec<Golden> {
                 migrations_requested: 6733,
                 local_operations: 2267,
                 epochs: 9,
+                ..O2Stats::default()
             },
         },
     ]
