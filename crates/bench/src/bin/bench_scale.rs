@@ -1,0 +1,152 @@
+//! Million-object scale-tier benchmark → `BENCH_scale.json`.
+//!
+//! Runs the `fig_scale` workload (4 KB objects, Zipf(1.1) popularity,
+//! `amd16`, specification from [`o2_experiments::scale_spec_for`]) under
+//! CoreTime at 1e5, 1e6 and 1e7 objects, and records per point:
+//!
+//! * simulated throughput (kops/s of virtual time) and host-side build /
+//!   run wall seconds — the hot path must not fall off a cliff as the
+//!   object count grows 100×;
+//! * service-latency percentiles (`ct_start`→`ct_end` cycles) from the
+//!   runtime's streaming sketch — constant space, no per-op samples;
+//! * the footprint audit: accounted bytes of object-indexed state per
+//!   object (interner + registry + assignment table + sketches, from
+//!   `Engine::footprint_bytes`) next to the process-level resident-set
+//!   delta across build+run from `/proc/self/statm` (0 when the proc
+//!   file is unavailable).
+//!
+//! Methodology: all points run in one process on one host, in ascending
+//! object-count order, seeds fixed, so the accounted numbers are exactly
+//! reproducible and the RSS deltas are comparable across points (each
+//! delta is measured against the RSS right before that point's build;
+//! allocator reuse across points makes the deltas a floor, not a sum).
+
+use std::time::Instant;
+
+use o2_experiments::{scale_spec_for, PolicyKind};
+use o2_workloads::{ScaleExperiment, ScaleMeasurement};
+
+/// Seed shared by every point (the spec derives per-thread streams).
+const SEED: u64 = 0xbe9c_0005;
+
+/// Object counts swept, ascending (the paper's "millions of objects").
+const COUNTS: [u64; 3] = [100_000, 1_000_000, 10_000_000];
+
+/// Resident set size in bytes from `/proc/self/statm`, or `None` when
+/// the file is unavailable (non-Linux hosts).
+fn rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident_pages * 4096)
+}
+
+struct Outcome {
+    m: ScaleMeasurement,
+    build_seconds: f64,
+    run_seconds: f64,
+    resident_delta_bytes: u64,
+}
+
+impl Outcome {
+    fn resident_bytes_per_object(&self) -> f64 {
+        self.resident_delta_bytes as f64 / self.m.n_objects.max(1) as f64
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"scenario\": \"scale_{}\",\n",
+                "      \"n_objects\": {},\n",
+                "      \"policy\": \"{}\",\n",
+                "      \"window_ops\": {},\n",
+                "      \"kops_per_sec\": {:.1},\n",
+                "      \"service_p50_cycles\": {},\n",
+                "      \"service_p99_cycles\": {},\n",
+                "      \"service_p999_cycles\": {},\n",
+                "      \"service_max_cycles\": {},\n",
+                "      \"latency_samples\": {},\n",
+                "      \"accounted_bytes_per_object\": {:.1},\n",
+                "      \"resident_bytes_per_object\": {:.1},\n",
+                "      \"migrations\": {},\n",
+                "      \"build_wall_seconds\": {:.3},\n",
+                "      \"run_wall_seconds\": {:.3}\n",
+                "    }}"
+            ),
+            self.m.n_objects,
+            self.m.n_objects,
+            self.m.policy,
+            self.m.window.ops,
+            self.m.kops_per_sec(),
+            self.m.service_latency.p50,
+            self.m.service_latency.p99,
+            self.m.service_latency.p999,
+            self.m.service_latency.max,
+            self.m.service_latency.count,
+            self.m.bytes_per_object(),
+            self.resident_bytes_per_object(),
+            self.m.migrations,
+            self.build_seconds,
+            self.run_seconds,
+        )
+    }
+}
+
+fn run_point(n: u64) -> Outcome {
+    let spec = scale_spec_for(n, SEED);
+    let policy = PolicyKind::CoreTime.build(&spec.machine);
+    let rss_before = rss_bytes().unwrap_or(0);
+
+    let build_start = Instant::now();
+    let mut exp = ScaleExperiment::build(spec, policy);
+    let build_seconds = build_start.elapsed().as_secs_f64();
+
+    let run_start = Instant::now();
+    let m = exp.run();
+    let run_seconds = run_start.elapsed().as_secs_f64().max(1e-9);
+    let rss_after = rss_bytes().unwrap_or(0);
+
+    let o = Outcome {
+        m,
+        build_seconds,
+        run_seconds,
+        resident_delta_bytes: rss_after.saturating_sub(rss_before),
+    };
+    println!(
+        "scale_{n:<9} {:>8} ops, {:>8.1} kops/s, p99 {:>6} cy, {:>6.1} B/obj accounted, {:>7.1} B/obj resident, build {:.2}s run {:.2}s",
+        o.m.window.ops,
+        o.m.kops_per_sec(),
+        o.m.service_latency.p99,
+        o.m.bytes_per_object(),
+        o.resident_bytes_per_object(),
+        o.build_seconds,
+        o.run_seconds,
+    );
+    o
+}
+
+fn main() {
+    let outcomes: Vec<Outcome> = COUNTS.iter().map(|&n| run_point(n)).collect();
+    let body = outcomes
+        .iter()
+        .map(Outcome::json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"scale_tier\",\n",
+            "  \"machine\": \"amd16\",\n",
+            "  \"model\": \"open-loop-capable scale tier: computed object layout, ",
+            "O(1) Zipf sampling, pre-sized tables, streaming latency sketch\",\n",
+            "  \"methodology\": \"one process, ascending object counts, fixed seeds; ",
+            "accounted = Engine::footprint_bytes / n; resident = /proc/self/statm ",
+            "RSS delta across build+run (floor, allocator reuse)\",\n",
+            "  \"scenarios\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        body
+    );
+    std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
+    println!("wrote BENCH_scale.json");
+}

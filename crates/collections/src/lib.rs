@@ -131,6 +131,25 @@ impl<K: FlatKey, V: Copy + Default> FlatTable<K, V> {
         self.probes
     }
 
+    /// Grows the table up front so that `additional` more entries fit
+    /// without crossing the 7/8 load factor — pre-sizing for callers that
+    /// know their population (the scale tier), so steady-state inserts
+    /// never reallocate.
+    pub fn reserve(&mut self, additional: usize) {
+        let mut cap = self.capacity();
+        while (self.len + additional + 1) * 8 > cap * 7 {
+            cap *= 2;
+        }
+        if cap > self.capacity() {
+            self.rehash_to(cap);
+        }
+    }
+
+    /// Heap bytes held by the slot array (capacity × slot size).
+    pub fn footprint_bytes(&self) -> u64 {
+        (self.capacity() * std::mem::size_of::<Slot<K, V>>()) as u64
+    }
+
     #[inline]
     fn home(&self, key: K) -> usize {
         (key.hash() >> 32) as usize & self.mask
@@ -290,7 +309,11 @@ impl<K: FlatKey, V: Copy + Default> FlatTable<K, V> {
     }
 
     fn grow(&mut self) {
-        let new_cap = self.capacity() * 2;
+        self.rehash_to(self.capacity() * 2);
+    }
+
+    fn rehash_to(&mut self, new_cap: usize) {
+        debug_assert!(new_cap.is_power_of_two() && new_cap > self.capacity());
         let old = std::mem::replace(&mut self.slots, Self::vacant_slots(new_cap));
         self.mask = new_cap - 1;
         for slot in old.iter().filter(|s| s.key != K::EMPTY) {
@@ -308,15 +331,48 @@ impl<K: FlatKey, V: Copy + Default> FlatTable<K, V> {
     }
 }
 
+/// The interner's dense-id space is exhausted: a new key would need an id
+/// at or beyond the interner's limit (`u32::MAX` by default — the last
+/// `u32` is reserved as a niche/sentinel by dense-id consumers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdSpaceExhausted {
+    /// The interner's id limit (ids `0..limit` are assignable).
+    pub limit: u32,
+}
+
+impl std::fmt::Display for IdSpaceExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dense-id space exhausted: all {} ids below the limit are assigned",
+            self.limit
+        )
+    }
+}
+
+impl std::error::Error for IdSpaceExhausted {}
+
 /// Interns sparse `u64` keys into dense `u32` ids, assigned contiguously
 /// in first-touch order so they index straight into [`Slab`]s.
 ///
 /// Keys are never removed — an interned key keeps its dense id for the
 /// lifetime of the interner — which keeps the underlying table
 /// tombstone-free by construction.
-#[derive(Debug, Clone, Default)]
+///
+/// Ids below the id limit (`u32::MAX` by default, since consumers use the
+/// all-ones `u32` as a sentinel) are assignable; once they run out,
+/// [`Interner::try_intern`] reports [`IdSpaceExhausted`] for unseen keys
+/// instead of silently wrapping the 32-bit counter.
+#[derive(Debug, Clone)]
 pub struct Interner {
     table: FlatTable<u64, u32>,
+    id_limit: u32,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Self::with_capacity(64)
+    }
 }
 
 impl Interner {
@@ -324,6 +380,17 @@ impl Interner {
     pub fn with_capacity(cap: usize) -> Self {
         Self {
             table: FlatTable::with_capacity(cap),
+            id_limit: u32::MAX,
+        }
+    }
+
+    /// Creates an interner whose assignable ids are `0..limit` — a
+    /// synthetic small id space for exercising the exhaustion path in
+    /// tests without interning four billion keys.
+    pub fn with_id_limit(cap: usize, limit: u32) -> Self {
+        Self {
+            table: FlatTable::with_capacity(cap),
+            id_limit: limit,
         }
     }
 
@@ -337,17 +404,51 @@ impl Interner {
         self.table.is_empty()
     }
 
+    /// Pre-sizes the table for `additional` more keys, so steady-state
+    /// interning never reallocates.
+    pub fn reserve(&mut self, additional: usize) {
+        self.table.reserve(additional);
+    }
+
+    /// Heap bytes held by the interner's table.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.table.footprint_bytes()
+    }
+
     /// Dense id of `key`, interning it on first sight. Returns the id and
     /// whether this call was the first sight.
+    ///
+    /// Panics when the dense-id space is exhausted; use
+    /// [`Interner::try_intern`] to handle that as a typed error.
     #[inline]
     pub fn intern(&mut self, key: u64) -> (u32, bool) {
+        self.try_intern(key)
+            .expect("interner dense-id space exhausted")
+    }
+
+    /// Dense id of `key`, interning it on first sight, or
+    /// [`IdSpaceExhausted`] if the key is unseen and every assignable id
+    /// is taken. Returns the id and whether this call was the first
+    /// sight.
+    #[inline]
+    pub fn try_intern(&mut self, key: u64) -> Result<(u32, bool), IdSpaceExhausted> {
         // A hard assert (not debug-only): `u64::MAX` is the vacant-slot
         // sentinel, and letting it through would silently alias the key
         // to whatever dense id sits in the first vacant slot probed.
         assert_ne!(key, u64::MAX, "interner key u64::MAX is reserved");
+        if self.table.len() as u64 >= u64::from(self.id_limit) {
+            // At the limit: existing keys still resolve, new ones error
+            // instead of wrapping the 32-bit counter.
+            return match self.table.get(key) {
+                Some(&dense) => Ok((dense, false)),
+                None => Err(IdSpaceExhausted {
+                    limit: self.id_limit,
+                }),
+            };
+        }
         let next = self.table.len() as u32;
         let (dense, new) = self.table.or_insert_with(key, || next);
-        (*dense, new)
+        Ok((*dense, new))
     }
 
     /// Dense id of `key` if it has been seen before.
@@ -372,6 +473,23 @@ impl<T> Slab<T> {
     /// Creates an empty slab.
     pub fn new() -> Self {
         Self { items: Vec::new() }
+    }
+
+    /// Creates an empty slab with room for `cap` items.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            items: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Pre-sizes the slab for `additional` more items.
+    pub fn reserve(&mut self, additional: usize) {
+        self.items.reserve(additional);
+    }
+
+    /// Heap bytes held by the slab (capacity × item size).
+    pub fn footprint_bytes(&self) -> u64 {
+        (self.items.capacity() * std::mem::size_of::<T>()) as u64
     }
 
     /// Number of items stored.
@@ -536,6 +654,50 @@ mod tests {
     #[should_panic(expected = "reserved")]
     fn interner_rejects_the_sentinel_key() {
         Interner::default().intern(u64::MAX);
+    }
+
+    #[test]
+    fn interner_errors_at_the_id_limit_instead_of_wrapping() {
+        // Synthetic 4-id space: the boundary behaviour of the real
+        // u32::MAX limit without four billion inserts.
+        let mut i = Interner::with_id_limit(8, 4);
+        for k in 0..4u64 {
+            assert_eq!(i.try_intern(0x100 + k), Ok((k as u32, true)));
+        }
+        // At the limit: existing keys still resolve to their ids...
+        assert_eq!(i.try_intern(0x102), Ok((2, false)));
+        assert_eq!(i.get(0x103), Some(3));
+        // ...but a fifth distinct key gets the typed error, repeatably,
+        // and never a wrapped or aliased id.
+        assert_eq!(i.try_intern(0x999), Err(IdSpaceExhausted { limit: 4 }));
+        assert_eq!(i.try_intern(0x999), Err(IdSpaceExhausted { limit: 4 }));
+        assert_eq!(i.len(), 4);
+        assert_eq!(i.get(0x999), None);
+        // One id below the limit everything still works.
+        let mut near = Interner::with_id_limit(8, 4);
+        for k in 0..3u64 {
+            near.try_intern(k).unwrap();
+        }
+        assert_eq!(near.try_intern(3), Ok((3, true)));
+        let msg = IdSpaceExhausted { limit: 4 }.to_string();
+        assert!(msg.contains("dense-id space exhausted"), "{msg}");
+    }
+
+    #[test]
+    fn reserve_presizes_so_inserts_never_grow() {
+        let mut t: FlatTable<u64, u64> = FlatTable::with_capacity(8);
+        t.reserve(1000);
+        let cap = t.capacity();
+        assert!(cap >= 1024 + 512, "7/8 load headroom: {cap}");
+        for k in 0..1000u64 {
+            *t.entry(k) = k;
+        }
+        assert_eq!(t.capacity(), cap, "pre-sized inserts must not grow");
+        assert_eq!(t.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(t.get(k), Some(&k));
+        }
+        assert_eq!(t.footprint_bytes(), (cap * 16) as u64);
     }
 
     #[test]

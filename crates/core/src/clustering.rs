@@ -114,6 +114,15 @@ impl CoAccessTracker {
         self.pairs.len()
     }
 
+    /// Heap bytes held by the tracker. Scales with threads and observed
+    /// co-access pairs, not with the object count — at a million objects
+    /// the tracker costs nothing unless operations actually pair them.
+    pub fn footprint_bytes(&self) -> u64 {
+        (self.last_by_thread.capacity() * std::mem::size_of::<DenseObjectId>()) as u64
+            + self.pairs.footprint_bytes()
+            + (self.doomed.capacity() * std::mem::size_of::<u64>()) as u64
+    }
+
     /// Ages the counts (halving them), so stale partnerships fade. Called
     /// once per epoch.
     pub fn decay(&mut self) {

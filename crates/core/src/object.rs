@@ -164,6 +164,23 @@ impl ObjectRegistry {
         self.rolls
     }
 
+    /// Pre-sizes the slab for `additional` more dense ids, so registering
+    /// them in ascending order never reallocates.
+    pub fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(
+            additional.saturating_sub(self.slots.capacity().saturating_sub(self.slots.len())),
+        );
+    }
+
+    /// Heap bytes held by the registry: the info slab plus both dirty
+    /// lists (capacities, not lengths — exact for the pre-sized scale
+    /// tier and an upper bound otherwise).
+    pub fn footprint_bytes(&self) -> u64 {
+        (self.slots.capacity() * std::mem::size_of::<ObjectInfo>()) as u64
+            + ((self.dirty_this.capacity() + self.dirty_last.capacity())
+                * std::mem::size_of::<DenseObjectId>()) as u64
+    }
+
     fn ensure_slot(&mut self, id: DenseObjectId) {
         let idx = id as usize;
         if idx >= self.slots.len() {

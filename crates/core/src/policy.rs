@@ -14,6 +14,7 @@
 //!   read-mostly objects and admits objects by frequency when the on-chip
 //!   budget is oversubscribed.
 
+use o2_metrics::{LatencyRecorder, LatencySummary};
 use o2_runtime::{
     DenseObjectId, EpochView, ObjectDescriptor, OpContext, Placement, PolicyCommand, SchedPolicy,
 };
@@ -61,6 +62,9 @@ pub struct O2Stats {
     /// Migrations skipped because the target core was degraded — the
     /// "flip from migration to data movement" path.
     pub degraded_avoids: u64,
+    /// Streaming percentiles of per-operation busy cycles seen at
+    /// `ct_end`, from the policy's constant-memory quantile sketch.
+    pub op_latency: LatencySummary,
 }
 
 /// Iterates the set bits of a core bitmask in ascending core order,
@@ -75,6 +79,10 @@ fn mask_bits(mut mask: u64) -> impl Iterator<Item = o2_runtime::CoreId> {
         Some(core)
     })
 }
+
+/// Fixed compaction seed for the policy's latency sketch: determinism
+/// requires the same compaction schedule in every run.
+const POLICY_LATENCY_SEED: u64 = 0x6f32_636f_7265_6c61;
 
 /// The CoreTime O2 scheduling policy.
 pub struct O2Policy {
@@ -102,6 +110,9 @@ pub struct O2Policy {
     /// The counter detector only runs when armed, so a zero-fault run
     /// stays bit-identical to one with no fault plane at all.
     fault_plane_armed: bool,
+    /// Constant-memory sketch of per-operation busy cycles, recorded at
+    /// `ct_end`. Pure observation: it never feeds a placement decision.
+    op_latency: LatencyRecorder,
 }
 
 impl O2Policy {
@@ -124,6 +135,7 @@ impl O2Policy {
             degraded_mask: 0,
             detected_mask: 0,
             fault_plane_armed: false,
+            op_latency: LatencyRecorder::new(POLICY_LATENCY_SEED),
         }
     }
 
@@ -140,9 +152,12 @@ impl O2Policy {
         Self::new(machine, CoreTimeConfig::default())
     }
 
-    /// The policy's activity counters.
+    /// The policy's activity counters, with the latency sketch summarized
+    /// into `op_latency`.
     pub fn stats(&self) -> O2Stats {
-        self.stats
+        let mut s = self.stats;
+        s.op_latency = self.op_latency.summary();
+        s
     }
 
     /// The current object→core assignment table.
@@ -224,6 +239,19 @@ impl SchedPolicy for O2Policy {
         self.registry.register(id, *object);
     }
 
+    fn reserve_objects(&mut self, n: usize) {
+        self.registry.reserve(n);
+        self.table.reserve(n);
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.registry.footprint_bytes()
+            + self.table.footprint_bytes()
+            + self.clustering.footprint_bytes()
+            + (self.idle_scratch.capacity() * std::mem::size_of::<DenseObjectId>()) as u64
+            + self.op_latency.footprint_bytes()
+    }
+
     fn on_ct_start(&mut self, ctx: &OpContext<'_>) -> Placement {
         // Co-access tracking only feeds the clustering heuristic; skip the
         // pair-table work entirely when that extension is off.
@@ -268,6 +296,7 @@ impl SchedPolicy for O2Policy {
     }
 
     fn on_ct_end(&mut self, ctx: &OpContext<'_>, delta: &CounterDelta) {
+        self.op_latency.record(delta.busy_cycles);
         let misses = delta.object_fetch_misses();
         let info = self
             .registry

@@ -122,6 +122,28 @@ impl AssignmentTable {
         self.capacities.len()
     }
 
+    /// Pre-sizes the slot slab for `additional` more dense ids.
+    pub fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(
+            additional.saturating_sub(self.slots.capacity().saturating_sub(self.slots.len())),
+        );
+    }
+
+    /// Heap bytes held by the table: the per-object slot slab, the
+    /// per-core byte counters, and the per-core assignment lists. The
+    /// slot slab dominates at scale: one fixed-size [`AssignmentSlot`]
+    /// per dense id, no per-object heap lists.
+    pub fn footprint_bytes(&self) -> u64 {
+        (self.slots.capacity() * std::mem::size_of::<AssignmentSlot>()) as u64
+            + ((self.used_bytes.capacity() + self.capacities.capacity())
+                * std::mem::size_of::<u64>()) as u64
+            + self
+                .per_core
+                .iter()
+                .map(|v| (v.capacity() * std::mem::size_of::<DenseObjectId>()) as u64)
+                .sum::<u64>()
+    }
+
     #[inline]
     fn slot(&self, object: DenseObjectId) -> AssignmentSlot {
         self.slots

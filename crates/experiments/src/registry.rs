@@ -5,7 +5,9 @@
 
 use o2_metrics::{crossover, mean_speedup_above, SeriesTable};
 use o2_sim::{snapshot, AccessKind, AccessOutcome, Machine, MachineConfig, OccupancySnapshot};
-use o2_workloads::{Experiment, FsMetaExperiment, FsMetaSpec, Popularity, WorkloadSpec};
+use o2_workloads::{
+    run_scale, Experiment, FsMetaExperiment, FsMetaSpec, Popularity, ScaleSpec, WorkloadSpec,
+};
 
 use crate::policy::PolicyKind;
 use crate::scenario::{CellResult, Scenario, SeriesDef, SweepPoint};
@@ -786,6 +788,124 @@ fn fig_fault(quick: bool) -> Scenario {
     }
 }
 
+// ---- fig_scale -------------------------------------------------------
+
+/// The scale-tier specification shared by `fig_scale` and the scale
+/// bench: the machine and its on-chip budget stay fixed while the object
+/// count sweeps three orders of magnitude past it.
+pub fn scale_spec_for(n_objects: u64, seed: u64) -> ScaleSpec {
+    let mut spec = ScaleSpec::new(n_objects);
+    spec.machine = MachineConfig::amd16();
+    // 4 KB objects: a full read spans 64 lines, so an off-chip object
+    // costs enough that the monitor's verdict actually fires and the
+    // policies differentiate — 64 B objects are too cheap to assign.
+    spec.object_size = 4096;
+    spec.zipf_exponent = 1.1;
+    spec.compute_cycles = 150;
+    spec.warmup_ops = 2_000;
+    spec.measure_cycles = 2_000_000;
+    spec.seed = seed;
+    spec
+}
+
+fn fig_scale_cell(sc: &Scenario, se: usize, pt: usize, seed: u64) -> CellResult {
+    let n = sc.points[pt].value;
+    let spec = scale_spec_for(n, seed);
+    let machine = spec.machine.clone();
+    let m = run_scale(spec, policy_of(sc, se).build(&machine));
+    let lat = m.service_latency;
+    CellResult {
+        x: n as f64,
+        y: m.kops_per_sec(),
+        lines: vec![format!(
+            "{} / {}: {:.0} kops/s, service latency p50 {} p99 {} p999 {} max {} cyc \
+             over {} ops, footprint {:.1} MB = {:.1} B/object, {} migrations",
+            sc.series[se].label,
+            sc.points[pt].label,
+            m.kops_per_sec(),
+            lat.p50,
+            lat.p99,
+            lat.p999,
+            lat.max,
+            lat.count,
+            m.footprint_bytes as f64 / (1024.0 * 1024.0),
+            m.bytes_per_object(),
+            m.migrations,
+        )],
+    }
+}
+
+fn fig_scale(quick: bool) -> Scenario {
+    let counts: Vec<u64> = if quick {
+        vec![10_000, 100_000]
+    } else {
+        vec![10_000, 100_000, 1_000_000, 10_000_000]
+    };
+    Scenario {
+        name: "fig_scale",
+        title: "Scale: throughput and tail latency from 1e4 to 1e7 objects, fixed on-chip budget",
+        description: "Does per-object bookkeeping stay flat when the object count outgrows the \
+                      on-chip caches by three orders of magnitude?",
+        x_label: "Objects",
+        params: vec![
+            (
+                "machine".into(),
+                "4 chips x 4 cores (AMD-like), 2 GHz, budget fixed".into(),
+            ),
+            ("objects".into(), "4 KB each, Zipf(1.1) popularity".into()),
+            ("threads".into(), "1 per core (16), closed loop".into()),
+            (
+                "latency".into(),
+                "streaming sketch percentiles (ct_start->ct_end), no per-op samples".into(),
+            ),
+        ],
+        series: PolicyKind::ALL
+            .iter()
+            .copied()
+            .map(SeriesDef::policy)
+            .collect(),
+        points: counts
+            .iter()
+            .map(|&n| SweepPoint::scalar(n, format!("{n} objects")))
+            .collect(),
+        payload: 0,
+        run: fig_scale_cell,
+        summarize: Some(|_, table| {
+            // Series 0 is CoreTime, series 2 the thread scheduler.
+            let mut notes = Vec::new();
+            let ct = &table.series[0].points;
+            if let (Some(first), Some(last)) = (ct.first(), ct.last()) {
+                if first.1 > 0.0 {
+                    notes.push(format!(
+                        "CoreTime retains {:.1}% of its {:.0}-object throughput at {:.0} objects",
+                        100.0 * last.1 / first.1,
+                        first.0,
+                        last.0
+                    ));
+                }
+            }
+            let ts = &table.series[2].points;
+            if let (Some(ct_last), Some(ts_last)) = (ct.last(), ts.last()) {
+                if ts_last.1 > 0.0 {
+                    let ratio = ct_last.1 / ts_last.1;
+                    let verdict = if ratio >= 1.0 {
+                        "operation migration still pays at this scale"
+                    } else {
+                        "migrating every operation on a Zipf head serialises the hot \
+                         objects' home cores — the very limit Sections 6.1/6.2 name, \
+                         which replication is meant to lift"
+                    };
+                    notes.push(format!(
+                        "at the largest count CoreTime runs at {ratio:.2}x the thread \
+                         scheduler — {verdict}"
+                    ));
+                }
+            }
+            notes
+        }),
+    }
+}
+
 // ---- the registry ----------------------------------------------------
 
 /// Builds the full scenario registry. `quick` selects the reduced
@@ -803,6 +923,7 @@ pub fn registry(quick: bool) -> Vec<Scenario> {
         table_latency(),
         fig_fsmeta(quick),
         fig_fault(quick),
+        fig_scale(quick),
     ]
 }
 
@@ -840,6 +961,7 @@ mod tests {
             "table_latency",
             "fig_fsmeta",
             "fig_fault",
+            "fig_scale",
         ] {
             assert!(
                 scenarios.iter().any(|s| s.name == required),

@@ -20,22 +20,39 @@ pub struct Summary {
 impl Summary {
     /// Computes a summary of the samples; returns `None` for an empty
     /// slice.
+    ///
+    /// Sorts a copy internally. Callers that also need extra percentiles
+    /// should sort once themselves and use [`Summary::of_sorted`] plus
+    /// [`percentile_sorted`] instead of paying for a second sort.
     pub fn of(samples: &[f64]) -> Option<Self> {
         if samples.is_empty() {
             return None;
         }
-        let count = samples.len();
-        let mean = samples.iter().sum::<f64>() / count as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
         let mut sorted: Vec<f64> = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Self::of_sorted(&sorted)
+    }
+
+    /// Computes a summary of an already-sorted (ascending) sample without
+    /// re-sorting; returns `None` for an empty slice.
+    pub fn of_sorted(sorted: &[f64]) -> Option<Self> {
+        if sorted.is_empty() {
+            return None;
+        }
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "of_sorted requires ascending samples"
+        );
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
         Some(Self {
             count,
             mean,
             stddev: var.sqrt(),
             min: sorted[0],
             max: sorted[count - 1],
-            median: percentile_sorted(&sorted, 50.0),
+            median: percentile_sorted(sorted, 50.0),
         })
     }
 
@@ -50,6 +67,9 @@ impl Summary {
 }
 
 /// The `p`-th percentile (0–100) of a sample, by linear interpolation.
+///
+/// Sorts a copy internally; use [`percentile_sorted`] when the samples
+/// are already sorted (e.g. alongside [`Summary::of_sorted`]).
 pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
     if samples.is_empty() {
         return None;
@@ -59,7 +79,9 @@ pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
     Some(percentile_sorted(&sorted, p))
 }
 
-fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+/// The `p`-th percentile (0–100) of an already-sorted (ascending) sample,
+/// by linear interpolation. Panics on an empty slice.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     let p = p.clamp(0.0, 100.0);
     if sorted.len() == 1 {
         return sorted[0];
@@ -128,5 +150,20 @@ mod tests {
     fn cv_of_zero_mean_is_zero() {
         let s = Summary::of(&[0.0, 0.0]).unwrap();
         assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn presorted_entry_points_match_the_sorting_ones() {
+        let unsorted = [9.0, 2.0, 4.0, 7.0, 4.0, 5.0, 5.0, 4.0];
+        let mut sorted = unsorted;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(Summary::of(&unsorted), Summary::of_sorted(&sorted));
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(
+                percentile(&unsorted, p),
+                Some(percentile_sorted(&sorted, p))
+            );
+        }
+        assert!(Summary::of_sorted(&[]).is_none());
     }
 }

@@ -7,7 +7,7 @@
 //! `ct_start` / `ct_end` annotations that bracket an operation on an
 //! object (Figure 3 of the paper).
 
-use crate::types::{LockId, ObjectId};
+use crate::types::{Cycles, LockId, ObjectId};
 use o2_sim::Addr;
 
 /// A single step of a thread's execution.
@@ -41,6 +41,11 @@ pub enum Action {
     CtEnd,
     /// Voluntarily yield the core to another runnable thread.
     Yield,
+    /// Sleep until the core's clock reaches the given cycle, releasing the
+    /// core to other runnable threads in the meantime. A target at or
+    /// before the current clock is a no-op. Open-loop arrival processes
+    /// use this to wait for the next request without burning busy cycles.
+    IdleUntil(Cycles),
     /// Terminate the thread.
     Exit,
 }

@@ -41,6 +41,7 @@ use crate::sync::LockRegistry;
 use crate::thread::{OpRecord, Thread, ThreadState, ThreadStats};
 use crate::types::{CoreId, Cycles, DenseObjectId, LockId, ObjectId, ThreadId};
 use crate::wheel::TimingWheel;
+use o2_metrics::LatencyRecorder;
 use o2_sim::{
     AccessKind, FaultKind, FaultPlan, LinkDegradation, Machine, MachineCounters, MemStats,
 };
@@ -94,6 +95,18 @@ struct Incoming {
     ready_at: Cycles,
 }
 
+/// A thread asleep on an [`Action::IdleUntil`], waiting for its owning
+/// core's clock to reach `wake_at`.
+#[derive(Debug, Clone, Copy)]
+struct Sleeper {
+    thread: ThreadId,
+    wake_at: Cycles,
+}
+
+/// Seed of the engine's service-latency sketch. Fixed (not configurable):
+/// determinism requires the same compaction schedule in every run.
+const OP_LATENCY_SEED: u64 = 0x6f32_5f6c_6174_656e;
+
 /// One expanded edge of the fault plan: a window start, a window end, or
 /// a permanent offlining, applied when the virtual-time frontier reaches
 /// `at`. [`FaultKind`] windows with a duration expand to a start and an
@@ -120,6 +133,9 @@ struct CoreState {
     run_queue: VecDeque<ThreadId>,
     current: Option<ThreadId>,
     inbox: Vec<Incoming>,
+    /// Threads sleeping on `IdleUntil` until the clock reaches their wake
+    /// cycle; like the inbox, a wake-up source for a parked core.
+    sleepers: Vec<Sleeper>,
     quantum_used: Cycles,
 }
 
@@ -162,6 +178,10 @@ pub struct Engine {
     core_slowdown: Vec<u32>,
     /// Cores taken permanently offline by the fault plan.
     core_offline: Vec<bool>,
+    /// Streaming service-latency sketch: every `ct_end` records the
+    /// operation's `ct_start`→`ct_end` span. Constant memory regardless
+    /// of run length; summarized into [`SchedStats::op_latency`].
+    op_latency: LatencyRecorder,
 }
 
 impl Engine {
@@ -198,6 +218,7 @@ impl Engine {
             fault_seed: 0,
             core_slowdown: vec![100; n],
             core_offline: vec![false; n],
+            op_latency: LatencyRecorder::new(OP_LATENCY_SEED),
         }
     }
 
@@ -320,6 +341,23 @@ impl Engine {
         dense
     }
 
+    /// Pre-sizes the object index and the policy's per-object tables for
+    /// `n` more objects, so registering and operating on them allocates
+    /// nothing on the hot path (the scale tier's steady state).
+    pub fn reserve_objects(&mut self, n: usize) {
+        self.objects.reserve(n);
+        self.policy.reserve_objects(n);
+    }
+
+    /// Heap bytes of per-object scheduler state: the object index, the
+    /// policy's tables, and the latency sketch. Divide by the object
+    /// count for the scale tier's bytes-per-object audit.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.objects.footprint_bytes()
+            + self.policy.footprint_bytes()
+            + self.op_latency.footprint_bytes()
+    }
+
     /// Registers a spin lock whose word lives at `addr`.
     pub fn register_lock(&mut self, addr: u64) -> LockId {
         self.locks.register(addr)
@@ -399,7 +437,14 @@ impl Engine {
             s.wheel_overflows = ws.overflow_inserts;
             s.wheel_max_batch = ws.max_batch;
         }
+        s.op_latency = self.op_latency.summary();
         s
+    }
+
+    /// The engine's streaming service-latency recorder (`ct_start` →
+    /// `ct_end` spans, in cycles).
+    pub fn op_latency(&self) -> &LatencyRecorder {
+        &self.op_latency
     }
 
     /// Memory-system totals of the underlying machine: coherence-directory
@@ -633,8 +678,8 @@ impl Engine {
     }
 
     /// The next cycle at which `core` has something to do: immediately if
-    /// it has runnable threads, at the earliest inbox arrival if it is only
-    /// waiting for a migration, `None` (park) otherwise.
+    /// it has runnable threads, at the earliest inbox arrival or sleeper
+    /// wake if it is only waiting, `None` (park) otherwise.
     fn core_next_wake(&self, core: usize) -> Option<Cycles> {
         let c = &self.cores[core];
         if c.current.is_some() || !c.run_queue.is_empty() {
@@ -643,6 +688,7 @@ impl Engine {
             c.inbox
                 .iter()
                 .map(|inc| inc.ready_at)
+                .chain(c.sleepers.iter().map(|s| s.wake_at))
                 .min()
                 .map(|ready| ready.max(c.clock))
         }
@@ -757,6 +803,9 @@ impl Engine {
         if !self.cores[core_idx].inbox.is_empty() {
             self.accept_inbox(core_idx);
         }
+        if !self.cores[core_idx].sleepers.is_empty() {
+            self.wake_sleepers(core_idx);
+        }
 
         // One borrow of the core state covers thread pick and quantum
         // rotation (this is the hottest scaffolding in the run loop).
@@ -825,6 +874,25 @@ impl Engine {
             n
         } else {
             n.saturating_mul(u64::from(pct)) / 100
+        }
+    }
+
+    /// Wakes sleepers whose target cycle has been reached, in the order
+    /// they went to sleep (a deterministic queue order).
+    fn wake_sleepers(&mut self, core_idx: usize) {
+        let clock = self.cores[core_idx].clock;
+        let mut due: Vec<ThreadId> = Vec::new();
+        self.cores[core_idx].sleepers.retain(|s| {
+            if s.wake_at <= clock {
+                due.push(s.thread);
+                false
+            } else {
+                true
+            }
+        });
+        for tid in due {
+            self.threads[tid].state = ThreadState::Runnable;
+            self.cores[core_idx].run_queue.push_back(tid);
         }
     }
 
@@ -910,6 +978,17 @@ impl Engine {
                 if !self.cores[core_idx].run_queue.is_empty() {
                     self.cores[core_idx].run_queue.push_back(tid);
                     self.cores[core_idx].current = None;
+                }
+            }
+            Action::IdleUntil(at) => {
+                if at > self.cores[core_idx].clock {
+                    self.threads[tid].state = ThreadState::Sleeping;
+                    self.cores[core_idx].sleepers.push(Sleeper {
+                        thread: tid,
+                        wake_at: at,
+                    });
+                    self.cores[core_idx].current = None;
+                    self.sched_stats.sleeps += 1;
                 }
             }
             Action::Exit => {
@@ -1043,8 +1122,15 @@ impl Engine {
         }
         // Interning is the "table lookup" of the paper's ct_start: one
         // probe of the flat index, after which the policy works purely
-        // with dense ids.
-        let object = self.objects.intern(object_key);
+        // with dense ids. Id-space exhaustion surfaces as a typed error
+        // rather than a wrapped or aliased dense id.
+        let object =
+            self.objects
+                .try_intern(object_key)
+                .map_err(|e| EngineError::ObjectIdsExhausted {
+                    thread: tid,
+                    limit: e.limit,
+                })?;
         let now = self.cores[core_idx].clock;
         self.threads[tid].current_op = Some(OpRecord {
             object,
@@ -1093,6 +1179,11 @@ impl Engine {
             .take()
             .ok_or(EngineError::CtEndWithoutCtStart { thread: tid })?;
         let delta = self.machine.counters(core_id).delta_since(&op.counter_base);
+        // Service latency in cycles: ct_start (on the starting core) to
+        // ct_end (here). Clocks only move forward across a migration, so
+        // the span is non-negative; saturate for safety.
+        self.op_latency
+            .record(self.cores[core_idx].clock.saturating_sub(op.started_at));
         let ctx = OpContext {
             thread: tid,
             core: core_id,
@@ -1460,6 +1551,22 @@ impl Engine {
             self.threads[inc.thread].home_core = fallback;
             self.cores[dest].inbox.push(Incoming {
                 thread: inc.thread,
+                ready_at: rerouted,
+            });
+            self.wake_core(dest, rerouted);
+            self.sched_stats.threads_repinned += 1;
+            last_ready = last_ready.max(rerouted);
+        }
+        // Sleepers finish their sleep in transit and land on the fallback
+        // core one migration after their wake cycle.
+        let sleeping: Vec<Sleeper> = std::mem::take(&mut self.cores[core].sleepers);
+        for s in sleeping {
+            let rerouted = s.wake_at.max(base) + self.cfg.expected_migration_cycles();
+            self.threads[s.thread].state = ThreadState::Migrating;
+            self.threads[s.thread].home_core = fallback;
+            self.locations[s.thread] = Some(fallback);
+            self.cores[dest].inbox.push(Incoming {
+                thread: s.thread,
                 ready_at: rerouted,
             });
             self.wake_core(dest, rerouted);

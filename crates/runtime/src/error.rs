@@ -40,6 +40,15 @@ pub enum EngineError {
         /// The offending thread.
         thread: ThreadId,
     },
+    /// A `ct_start` named a previously unseen object key but every dense
+    /// id below the index's limit is already assigned (u32 id-space
+    /// exhaustion). Operations on already-interned objects still work.
+    ObjectIdsExhausted {
+        /// The thread whose `ct_start` hit the limit.
+        thread: ThreadId,
+        /// The dense-id limit of the object index.
+        limit: u32,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -63,6 +72,12 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::NestedCtStart { thread } => {
                 write!(f, "thread {thread}: ct_start inside an operation")
+            }
+            EngineError::ObjectIdsExhausted { thread, limit } => {
+                write!(
+                    f,
+                    "thread {thread}: object dense-id space exhausted (limit {limit})"
+                )
             }
         }
     }

@@ -58,6 +58,9 @@ pub use config::{EventCoreKind, RuntimeConfig};
 pub use engine::Engine;
 pub use error::EngineError;
 pub use object_index::ObjectIndex;
+// Surfaced by `ObjectIndex::try_intern`, so callers can match it without
+// depending on o2-collections directly.
+pub use o2_collections::IdSpaceExhausted;
 pub use policy::{
     EpochView, NullPolicy, OpContext, Placement, PolicyCommand, PolicyFaultStats, SchedPolicy,
     StaticPolicy,

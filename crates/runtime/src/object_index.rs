@@ -10,7 +10,7 @@
 //! dense id for the lifetime of the engine), which keeps the table
 //! tombstone-free by construction.
 
-use o2_collections::{Interner, Slab};
+use o2_collections::{IdSpaceExhausted, Interner, Slab};
 
 use crate::action::ObjectDescriptor;
 use crate::types::{DenseObjectId, ObjectId};
@@ -42,9 +42,38 @@ impl ObjectIndex {
     pub fn with_capacity(cap: usize) -> Self {
         Self {
             interner: Interner::with_capacity(cap),
-            descs: Slab::new(),
-            registered: Slab::new(),
+            descs: Slab::with_capacity(cap),
+            registered: Slab::with_capacity(cap),
         }
+    }
+
+    /// Creates an index whose dense-id space is capped at `limit` ids
+    /// (instead of the full `u32` range). Used by exhaustion tests; real
+    /// engines keep the default limit.
+    pub fn with_id_limit(cap: usize, limit: u32) -> Self {
+        Self {
+            interner: Interner::with_id_limit(cap, limit),
+            descs: Slab::with_capacity(cap),
+            registered: Slab::with_capacity(cap),
+        }
+    }
+
+    /// Pre-sizes the index for `additional` more objects, so interning
+    /// them triggers no rehash and no slab growth (the scale tier's
+    /// allocation-free steady state).
+    pub fn reserve(&mut self, additional: usize) {
+        self.interner.reserve(additional);
+        self.descs.reserve(additional);
+        self.registered.reserve(additional);
+    }
+
+    /// Heap bytes held by the index: the interner's slot array plus both
+    /// per-id slabs. Measured from capacities, so it is an upper bound on
+    /// live data and exact for the pre-sized scale tier.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.interner.footprint_bytes()
+            + self.descs.footprint_bytes()
+            + self.registered.footprint_bytes()
     }
 
     /// Number of distinct objects interned so far.
@@ -62,16 +91,26 @@ impl ObjectIndex {
     /// order, so they index straight into the slabs kept by policies.
     #[inline]
     pub fn intern(&mut self, key: ObjectId) -> DenseObjectId {
+        self.try_intern(key)
+            .unwrap_or_else(|e| panic!("object index: {e}"))
+    }
+
+    /// Fallible form of [`ObjectIndex::intern`]: a previously unseen key
+    /// with no dense id left below the limit returns the typed
+    /// [`IdSpaceExhausted`] error instead of panicking. Already-interned
+    /// keys always resolve.
+    #[inline]
+    pub fn try_intern(&mut self, key: ObjectId) -> Result<DenseObjectId, IdSpaceExhausted> {
         // A hard assert (not debug-only): `u64::MAX` is the vacant-slot
         // sentinel, and letting it through would silently alias the key
         // to whatever dense id sits in the first vacant slot probed.
         assert_ne!(key, EMPTY, "object key u64::MAX is reserved");
-        let (dense, new) = self.interner.intern(key);
+        let (dense, new) = self.interner.try_intern(key)?;
         if new {
             self.descs.push(ObjectDescriptor::new(key, key, 0));
             self.registered.push(false);
         }
-        dense
+        Ok(dense)
     }
 
     /// Dense id of `key` if it has been seen before.
@@ -152,6 +191,35 @@ mod tests {
     #[should_panic(expected = "reserved")]
     fn the_sentinel_key_is_rejected() {
         ObjectIndex::default().intern(u64::MAX);
+    }
+
+    #[test]
+    fn exhaustion_is_a_typed_error_and_existing_keys_survive() {
+        let mut idx = ObjectIndex::with_id_limit(8, 3);
+        for key in 0..3u64 {
+            assert_eq!(idx.try_intern(key * 64), Ok(key as DenseObjectId));
+        }
+        let err = idx.try_intern(0x9999).unwrap_err();
+        assert_eq!(err.limit, 3);
+        // At the limit, re-interning a known key still resolves.
+        assert_eq!(idx.try_intern(64), Ok(1));
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn reserve_presizes_and_footprint_is_reported() {
+        let mut idx = ObjectIndex::with_capacity(8);
+        idx.reserve(1000);
+        let before = idx.footprint_bytes();
+        assert!(before > 0);
+        for key in 0..1000u64 {
+            idx.intern((key + 1) * 64);
+        }
+        assert_eq!(
+            idx.footprint_bytes(),
+            before,
+            "pre-sized interning must not grow the index"
+        );
     }
 
     #[test]

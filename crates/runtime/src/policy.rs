@@ -101,6 +101,18 @@ pub trait SchedPolicy {
     /// [`OpContext::object`].
     fn register_object(&mut self, _id: DenseObjectId, _object: &ObjectDescriptor) {}
 
+    /// Hint that roughly `n` more objects are about to be registered, so
+    /// the policy can pre-size its per-object tables and stay
+    /// allocation-free while they stream in. The default does nothing.
+    fn reserve_objects(&mut self, _n: usize) {}
+
+    /// Heap bytes held by the policy's per-object state, for the scale
+    /// tier's bytes-per-object audit. Policies without such state (the
+    /// default) report zero.
+    fn footprint_bytes(&self) -> u64 {
+        0
+    }
+
     /// Called at `ct_start`; returns where the operation should run.
     fn on_ct_start(&mut self, _ctx: &OpContext<'_>) -> Placement {
         Placement::Local

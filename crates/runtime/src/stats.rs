@@ -1,6 +1,7 @@
 //! Run statistics and throughput computation.
 
 use crate::types::Cycles;
+use o2_metrics::LatencySummary;
 
 /// Statistics of the event-driven scheduler loop.
 ///
@@ -46,6 +47,13 @@ pub struct SchedStats {
     /// Cycles between each offlining and the arrival of its last drained
     /// thread at the fallback core — how long recovery took.
     pub recovery_cycles: u64,
+    /// Threads put to sleep by an [`Action::IdleUntil`](crate::Action)
+    /// with a future target (open-loop arrival waits).
+    pub sleeps: u64,
+    /// Streaming percentiles of per-operation service latency
+    /// (`ct_start` → `ct_end`, in cycles on the executing core), from the
+    /// engine's constant-memory quantile sketch.
+    pub op_latency: LatencySummary,
 }
 
 /// Result of running the engine over a measurement window.

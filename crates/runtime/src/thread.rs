@@ -18,6 +18,9 @@ pub enum ThreadState {
     /// Asleep on a contended lock (only with `RuntimeConfig::blocking_locks`);
     /// the holder's release makes it runnable again.
     Blocked,
+    /// Asleep on an [`Action::IdleUntil`] until a target cycle; the owning
+    /// core wakes it when its clock reaches the target.
+    Sleeping,
     /// Finished (`Action::Exit`).
     Done,
 }

@@ -15,6 +15,10 @@
 //! * [`fsmeta`] — file-metadata churn (create / rename / unlink across
 //!   many small directories), exercising the volume's flat name index
 //!   and its deletion paths end-to-end;
+//! * [`open_loop`] — a Poisson arrival process that wraps any generator,
+//!   so latency includes queueing delay instead of just service time;
+//! * [`scale`] — the million-object tier: computed object layout, O(1)
+//!   Zipf sampling, pre-sized engine state and sketch-based latency;
 //! * [`experiment`] — builds machine + volume + engine + threads for a
 //!   spec and a policy, runs warm-up and a measurement window, and reports
 //!   throughput in the paper's units (thousands of resolutions per second).
@@ -39,6 +43,8 @@ pub mod behaviour;
 pub mod distribution;
 pub mod experiment;
 pub mod fsmeta;
+pub mod open_loop;
+pub mod scale;
 pub mod spec;
 pub mod webserver;
 
@@ -46,5 +52,7 @@ pub use behaviour::{DirectoryLookupGen, DirectorySet};
 pub use distribution::DirChooser;
 pub use experiment::{run_once, Experiment, Measurement};
 pub use fsmeta::{FsMetaExperiment, FsMetaGen, FsMetaSpec, FsMetaStats};
+pub use open_loop::OpenLoopGen;
+pub use scale::{run_scale, ScaleExperiment, ScaleGen, ScaleMeasurement, ScaleSpec, ZipfSampler};
 pub use spec::{Popularity, WorkloadSpec};
 pub use webserver::PathLookupGen;

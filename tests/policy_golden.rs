@@ -19,6 +19,7 @@
 //! `O2_PRINT_FINGERPRINTS=1 cargo test --test policy_golden -- --nocapture`
 
 use o2_core::{CoreTimeConfig, O2Policy, O2Stats};
+use o2_metrics::LatencySummary;
 use o2_runtime::{
     DenseObjectId, EpochView, ObjectDescriptor, ObjectIndex, OpContext, Placement, SchedPolicy,
 };
@@ -423,6 +424,13 @@ fn goldens() -> Vec<Golden> {
                 migrations_requested: 22415,
                 local_operations: 1585,
                 epochs: 8,
+                op_latency: LatencySummary {
+                    count: 24000,
+                    p50: 12260,
+                    p99: 14720,
+                    p999: 14780,
+                    max: 14780,
+                },
                 ..O2Stats::default()
             },
         },
@@ -440,6 +448,13 @@ fn goldens() -> Vec<Golden> {
                 migrations_requested: 13610,
                 local_operations: 6390,
                 epochs: 20,
+                op_latency: LatencySummary {
+                    count: 20000,
+                    p50: 60980,
+                    p99: 73880,
+                    p999: 73940,
+                    max: 73940,
+                },
                 ..O2Stats::default()
             },
         },
@@ -457,6 +472,13 @@ fn goldens() -> Vec<Golden> {
                 migrations_requested: 36484,
                 local_operations: 3516,
                 epochs: 8,
+                op_latency: LatencySummary {
+                    count: 40000,
+                    p50: 14000,
+                    p99: 22160,
+                    p999: 22160,
+                    max: 22160,
+                },
                 ..O2Stats::default()
             },
         },
@@ -474,6 +496,13 @@ fn goldens() -> Vec<Golden> {
                 migrations_requested: 6733,
                 local_operations: 2267,
                 epochs: 9,
+                op_latency: LatencySummary {
+                    count: 9000,
+                    p50: 15200,
+                    p99: 15200,
+                    p999: 15200,
+                    max: 15200,
+                },
                 ..O2Stats::default()
             },
         },

@@ -1,0 +1,113 @@
+//! The scale tier's latency sketch against the exact oracle.
+//!
+//! The sketch's contract (crates/metrics/src/sketch.rs) is a worst-case
+//! *rank* error of `ε = levels/k`: the estimate for quantile `q` must be
+//! a value whose exact rank lies in `[q-ε, q+ε]`. This harness feeds
+//! randomized streams of three latency shapes — uniform, Zipfian and
+//! bimodal (the fast-path/slow-path mix real tails look like) — and
+//! checks every reported quantile against the exact, fully-sorted sample
+//! via `percentile_sorted`. A second test pins the determinism claim the
+//! golden fingerprints rely on: the sketch output in matrix JSON is
+//! byte-identical across `--jobs` worker counts and across reruns.
+
+use o2_suite::experiments::{find_scenario, registry, render_json, run_matrix};
+use o2_suite::metrics::{percentile_sorted, QuantileSketch};
+use o2_suite::workloads::ZipfSampler;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One randomized latency stream of a given shape.
+fn stream(shape: &str, n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match shape {
+        // Flat: every rank equally likely, tails carry no mass spike.
+        "uniform" => (0..n).map(|_| rng.gen_range(100u64..100_000)).collect(),
+        // Heavy-tailed ranks mapped to latencies: most samples cheap,
+        // a long geometric tail (the scale workload's own sampler).
+        "zipfian" => {
+            let zipf = ZipfSampler::new(10_000, 1.1);
+            (0..n).map(|_| 200 + 50 * zipf.sample(&mut rng)).collect()
+        }
+        // Fast path vs slow path: 95% around 1k cycles, 5% around 100k —
+        // p50 and p999 land on different modes.
+        "bimodal" => (0..n)
+            .map(|_| {
+                if rng.gen::<f64>() < 0.95 {
+                    rng.gen_range(800u64..1_200)
+                } else {
+                    rng.gen_range(80_000u64..120_000)
+                }
+            })
+            .collect(),
+        other => panic!("unknown shape {other}"),
+    }
+}
+
+#[test]
+fn sketch_quantiles_stay_within_the_documented_rank_bound() {
+    // A small k tightens memory enough that compactions actually happen
+    // (n/k ≈ 200 cascades) while ε = levels/k stays ≈ 1%.
+    const N: usize = 200_000;
+    const K: usize = 1_024;
+    for shape in ["uniform", "zipfian", "bimodal"] {
+        for seed in [1u64, 42, 0xbe9c] {
+            let samples = stream(shape, N, seed);
+            let mut sketch = QuantileSketch::with_capacity(K, seed ^ 0x5eed);
+            for &v in &samples {
+                sketch.record(v);
+            }
+            assert!(sketch.compactions() > 0, "{shape}/{seed}: stream too short");
+
+            let mut sorted: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let eps = sketch.rank_error_bound();
+            assert!(eps < 0.015, "{shape}/{seed}: ε = {eps}");
+
+            for q in [0.50, 0.99, 0.999] {
+                let est = sketch.quantile(q).unwrap() as f64;
+                // The exact values at ranks q±ε bracket every estimate
+                // whose rank error is within the bound.
+                let lo = percentile_sorted(&sorted, 100.0 * (q - eps).max(0.0));
+                let hi = percentile_sorted(&sorted, 100.0 * (q + eps).min(1.0));
+                let exact = percentile_sorted(&sorted, 100.0 * q);
+                assert!(
+                    lo <= est && est <= hi,
+                    "{shape}/seed {seed}/q {q}: estimate {est} outside \
+                     [{lo}, {hi}] around exact {exact} (ε = {eps})"
+                );
+            }
+            // Endpoints are exact, never sketched.
+            assert_eq!(sketch.quantile(0.0).unwrap() as f64, sorted[0]);
+            assert_eq!(sketch.quantile(1.0).unwrap() as f64, sorted[N - 1]);
+        }
+    }
+}
+
+#[test]
+fn sketch_is_deterministic_across_jobs_counts_and_reruns() {
+    // Unit level: same seed + same stream → byte-identical state.
+    for shape in ["uniform", "zipfian", "bimodal"] {
+        let feed = || {
+            let mut s = QuantileSketch::with_capacity(512, 7);
+            for v in stream(shape, 60_000, 9) {
+                s.record(v);
+            }
+            s
+        };
+        let (a, b) = (feed(), feed());
+        assert_eq!(a, b, "{shape}: states diverged");
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    // System level: fig_scale's sketched percentiles land in the matrix
+    // JSON identically no matter how many workers raced over the cells.
+    let scenario =
+        || vec![find_scenario(registry(true), "fig_scale").expect("registered scenario")];
+    let serial = render_json(&run_matrix(&scenario(), 1));
+    let parallel = render_json(&run_matrix(&scenario(), 4));
+    assert_eq!(serial, parallel);
+    assert!(
+        serial.contains("service latency p50"),
+        "sketch output missing"
+    );
+}
