@@ -26,7 +26,8 @@ use std::time::Instant;
 
 use o2_core::{CoreTimeConfig, O2Policy, O2Stats};
 use o2_runtime::{
-    DenseObjectId, EpochView, ObjectDescriptor, ObjectIndex, OpContext, Placement, SchedPolicy,
+    AccessKind, DenseObjectId, EpochView, ObjectDescriptor, ObjectIndex, OpContext, Placement,
+    SchedPolicy,
 };
 use o2_sim::{CounterDelta, Machine, MachineConfig};
 
@@ -93,6 +94,7 @@ impl Driver {
             home_core: core,
             object,
             object_key: key,
+            kind: AccessKind::Write,
             now: 0,
             machine: &self.machine,
         };
@@ -113,6 +115,7 @@ impl Driver {
             home_core: core,
             object,
             object_key: key,
+            kind: AccessKind::Write,
             now: 0,
             machine: &self.machine,
         };

@@ -1,8 +1,9 @@
 //! Million-object scale-tier benchmark → `BENCH_scale.json`.
 //!
 //! Runs the `fig_scale` workload (4 KB objects, Zipf(1.1) popularity,
-//! `amd16`, specification from [`o2_experiments::scale_spec_for`]) under
-//! CoreTime at 1e5, 1e6 and 1e7 objects, and records per point:
+//! 95% reads, `amd16`, specification from
+//! [`o2_experiments::scale_spec_for`]) under CoreTime with replica
+//! serving enabled at 1e5, 1e6 and 1e7 objects, and records per point:
 //!
 //! * simulated throughput (kops/s of virtual time) and host-side build /
 //!   run wall seconds — the hot path must not fall off a cliff as the
@@ -15,6 +16,15 @@
 //!   delta across build+run from `/proc/self/statm` (0 when the proc
 //!   file is unavailable).
 //!
+//! After the closed-loop sweep, an **open-loop duel** re-runs the 1e6
+//! point with Poisson arrivals (mean gap 8000 cycles per thread) under
+//! CoreTime-with-serving and the thread scheduler, recording
+//! arrival→completion percentiles and the background replica-fill
+//! counters. This is the tail-latency half of the serving claim: the
+//! fills run only in arrival gaps, so CoreTime's arrival p99 lands at or
+//! below the thread scheduler's while the saturated sweep above stays an
+//! exact tie.
+//!
 //! Methodology: all points run in one process on one host, in ascending
 //! object-count order, seeds fixed, so the accounted numbers are exactly
 //! reproducible and the RSS deltas are comparable across points (each
@@ -23,7 +33,7 @@
 
 use std::time::Instant;
 
-use o2_experiments::{scale_spec_for, PolicyKind};
+use o2_experiments::{scale_spec_for, serving_coretime_config, PolicyKind};
 use o2_workloads::{ScaleExperiment, ScaleMeasurement};
 
 /// Seed shared by every point (the spec derives per-thread streams).
@@ -69,6 +79,10 @@ impl Outcome {
                 "      \"accounted_bytes_per_object\": {:.1},\n",
                 "      \"resident_bytes_per_object\": {:.1},\n",
                 "      \"migrations\": {},\n",
+                "      \"replica_promotions\": {},\n",
+                "      \"replica_demotions\": {},\n",
+                "      \"replica_invalidations\": {},\n",
+                "      \"replica_served\": {},\n",
                 "      \"build_wall_seconds\": {:.3},\n",
                 "      \"run_wall_seconds\": {:.3}\n",
                 "    }}"
@@ -86,6 +100,10 @@ impl Outcome {
             self.m.bytes_per_object(),
             self.resident_bytes_per_object(),
             self.m.migrations,
+            self.m.replication.promotions,
+            self.m.replication.demotions,
+            self.m.replication.invalidations,
+            self.m.replication.replica_served,
             self.build_seconds,
             self.run_seconds,
         )
@@ -94,7 +112,8 @@ impl Outcome {
 
 fn run_point(n: u64) -> Outcome {
     let spec = scale_spec_for(n, SEED);
-    let policy = PolicyKind::CoreTime.build(&spec.machine);
+    let policy = PolicyKind::CoreTime
+        .build_with_coretime_config(&spec.machine, serving_coretime_config(PolicyKind::CoreTime));
     let rss_before = rss_bytes().unwrap_or(0);
 
     let build_start = Instant::now();
@@ -113,16 +132,74 @@ fn run_point(n: u64) -> Outcome {
         resident_delta_bytes: rss_after.saturating_sub(rss_before),
     };
     println!(
-        "scale_{n:<9} {:>8} ops, {:>8.1} kops/s, p99 {:>6} cy, {:>6.1} B/obj accounted, {:>7.1} B/obj resident, build {:.2}s run {:.2}s",
+        "scale_{n:<9} {:>8} ops, {:>8.1} kops/s, p99 {:>6} cy, {:>6.1} B/obj accounted, {:>7.1} B/obj resident, replicas +{} -{} inv {} served {}, build {:.2}s run {:.2}s",
         o.m.window.ops,
         o.m.kops_per_sec(),
         o.m.service_latency.p99,
         o.m.bytes_per_object(),
         o.resident_bytes_per_object(),
+        o.m.replication.promotions,
+        o.m.replication.demotions,
+        o.m.replication.invalidations,
+        o.m.replication.replica_served,
         o.build_seconds,
         o.run_seconds,
     );
     o
+}
+
+/// Object count and per-thread Poisson mean gap of the open-loop duel.
+const DUEL_OBJECTS: u64 = 1_000_000;
+const DUEL_MEAN_GAP: f64 = 8_000.0;
+
+/// One open-loop series: the policy, its arrival→completion percentiles
+/// and the background-fill work it managed to hide in arrival gaps.
+fn run_duel(kind: PolicyKind) -> String {
+    let mut spec = scale_spec_for(DUEL_OBJECTS, SEED);
+    spec.open_loop_mean_gap = Some(DUEL_MEAN_GAP);
+    let policy = kind.build_with_coretime_config(&spec.machine, serving_coretime_config(kind));
+    let mut exp = ScaleExperiment::build(spec, policy);
+    let m = exp.run();
+    let arr = m
+        .arrival_latency
+        .as_ref()
+        .expect("open-loop run records arrival latency");
+    let ss = exp.engine().sched_stats();
+    println!(
+        "duel {:<18} {:>8.1} kops/s, arrival p50 {:>6} p99 {:>7} cy, fills {} ({} cy)",
+        kind.label(),
+        m.kops_per_sec(),
+        arr.p50,
+        arr.p99,
+        ss.replica_fills,
+        ss.replica_fill_cycles,
+    );
+    format!(
+        concat!(
+            "      {{\n",
+            "        \"policy\": \"{}\",\n",
+            "        \"kops_per_sec\": {:.1},\n",
+            "        \"arrival_p50_cycles\": {},\n",
+            "        \"arrival_p99_cycles\": {},\n",
+            "        \"arrival_p999_cycles\": {},\n",
+            "        \"replica_fills\": {},\n",
+            "        \"replica_fill_cycles\": {},\n",
+            "        \"replica_promotions\": {},\n",
+            "        \"replica_invalidations\": {},\n",
+            "        \"replica_served\": {}\n",
+            "      }}"
+        ),
+        m.policy,
+        m.kops_per_sec(),
+        arr.p50,
+        arr.p99,
+        arr.p999,
+        ss.replica_fills,
+        ss.replica_fill_cycles,
+        m.replication.promotions,
+        m.replication.invalidations,
+        m.replication.replica_served,
+    )
 }
 
 fn main() {
@@ -132,20 +209,29 @@ fn main() {
         .map(Outcome::json)
         .collect::<Vec<_>>()
         .join(",\n");
+    let duel_body = [PolicyKind::CoreTime, PolicyKind::ThreadScheduler]
+        .map(run_duel)
+        .join(",\n");
     let json = format!(
         concat!(
             "{{\n",
             "  \"benchmark\": \"scale_tier\",\n",
             "  \"machine\": \"amd16\",\n",
             "  \"model\": \"open-loop-capable scale tier: computed object layout, ",
-            "O(1) Zipf sampling, pre-sized tables, streaming latency sketch\",\n",
+            "O(1) Zipf sampling, pre-sized tables, streaming latency sketch, ",
+            "95% reads served from measured-read-fraction replicas\",\n",
             "  \"methodology\": \"one process, ascending object counts, fixed seeds; ",
             "accounted = Engine::footprint_bytes / n; resident = /proc/self/statm ",
             "RSS delta across build+run (floor, allocator reuse)\",\n",
-            "  \"scenarios\": [\n{}\n  ]\n",
+            "  \"scenarios\": [\n{}\n  ],\n",
+            "  \"open_loop_duel\": {{\n",
+            "    \"n_objects\": {},\n",
+            "    \"mean_gap_cycles\": {:.1},\n",
+            "    \"series\": [\n{}\n    ]\n",
+            "  }}\n",
             "}}\n"
         ),
-        body
+        body, DUEL_OBJECTS, DUEL_MEAN_GAP, duel_body
     );
     std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
     println!("wrote BENCH_scale.json");

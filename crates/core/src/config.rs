@@ -55,11 +55,29 @@ pub struct CoreTimeConfig {
     pub decay_pressure_threshold: f64,
     /// Enable replication of read-mostly objects (Section 6.2).
     pub enable_replication: bool,
-    /// Maximum replicas of a read-mostly object (including the primary).
+    /// Maximum **total copies** of a replicated object, the primary
+    /// included: `max_replicas = 4` means one primary plus at most three
+    /// extra replicas.
     pub max_replicas: u32,
     /// Operations per epoch above which a read-mostly object is considered
     /// hot enough to replicate.
     pub replication_hot_ops: u64,
+    /// Serve operations from replicas based on the *measured* per-object
+    /// read fraction instead of the static `read_mostly` hint: promotion
+    /// replicates the hot head proportionally to its heat, a write
+    /// invalidates every non-primary copy at `ct_start`, and replica
+    /// selection rotates across equal-distance copies. Requires
+    /// `enable_replication`. Off by default so the legacy hint-driven
+    /// replication path stays bit-identical.
+    pub serve_from_replicas: bool,
+    /// Measured read fraction (EWMA) at or above which a hot object is
+    /// promoted to extra replicas when `serve_from_replicas` is on.
+    pub replica_promote_read_fraction: f64,
+    /// Measured read fraction (EWMA) below which a replicated object loses
+    /// its extra replicas at the epoch boundary. Kept well under the
+    /// promotion threshold so a borderline object does not flap between
+    /// promoted and demoted every epoch.
+    pub replica_demote_read_fraction: f64,
     /// Enable object clustering: objects used together are co-located
     /// (Section 6.2).
     pub enable_clustering: bool,
@@ -92,6 +110,9 @@ impl Default for CoreTimeConfig {
             enable_replication: false,
             max_replicas: 4,
             replication_hot_ops: 64,
+            serve_from_replicas: false,
+            replica_promote_read_fraction: 0.90,
+            replica_demote_read_fraction: 0.60,
             enable_clustering: false,
             clustering_threshold: 16,
             enable_replacement: false,
@@ -137,6 +158,19 @@ impl CoreTimeConfig {
         }
         if self.max_replicas == 0 {
             return Err("max_replicas must be at least 1".into());
+        }
+        if self.serve_from_replicas && !self.enable_replication {
+            return Err("serve_from_replicas requires enable_replication".into());
+        }
+        if !(0.0..=1.0).contains(&self.replica_promote_read_fraction)
+            || !(0.0..=1.0).contains(&self.replica_demote_read_fraction)
+        {
+            return Err("replica read-fraction thresholds must be in [0, 1]".into());
+        }
+        if self.replica_demote_read_fraction > self.replica_promote_read_fraction {
+            return Err(
+                "replica_demote_read_fraction must not exceed the promote threshold".into(),
+            );
         }
         if self.pathology_factor < 1.0 {
             return Err("pathology_factor must be at least 1".into());
@@ -190,5 +224,23 @@ mod tests {
         let mut c = CoreTimeConfig::default();
         c.pathology_factor = 0.5;
         assert!(c.validate().is_err());
+        let mut c = CoreTimeConfig::default();
+        c.serve_from_replicas = true;
+        assert!(c.validate().is_err(), "serving needs enable_replication");
+        c.enable_replication = true;
+        assert!(c.validate().is_ok());
+        c.replica_demote_read_fraction = 0.95;
+        assert!(c.validate().is_err(), "demote above promote must fail");
+        let mut c = CoreTimeConfig::default();
+        c.replica_promote_read_fraction = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn extensions_preset_keeps_replica_serving_off() {
+        // The legacy hint-driven replication path (what the golden storms
+        // pin) must stay the default even with every extension enabled;
+        // measured-read-fraction serving is a separate opt-in.
+        assert!(!CoreTimeConfig::with_all_extensions().serve_from_replicas);
     }
 }

@@ -13,7 +13,7 @@
 //! previous implementation kept a `HashMap` and re-scanned every object at
 //! every epoch boundary.
 
-use o2_runtime::{DenseObjectId, ObjectDescriptor, ObjectId};
+use o2_runtime::{AccessKind, DenseObjectId, ObjectDescriptor, ObjectId};
 
 /// Sentinel for "no neighbour" in the intrusive idle list.
 const NONE: u32 = u32::MAX;
@@ -26,6 +26,11 @@ pub struct ObjectInfo {
     pub desc: ObjectDescriptor,
     /// Smoothed private-cache misses per operation on this object.
     pub ewma_misses_per_op: f64,
+    /// Smoothed fraction of operations that declared themselves reads at
+    /// `ct_start` (1.0 = all reads). This is the *measured* replacement
+    /// for the static `read_mostly` hint: replica promotion and demotion
+    /// key off it when `serve_from_replicas` is enabled.
+    pub ewma_read_fraction: f64,
     /// Total operations observed.
     pub ops_total: u64,
     /// Operations observed during the current epoch.
@@ -54,6 +59,7 @@ impl ObjectInfo {
         Self {
             desc,
             ewma_misses_per_op: 0.0,
+            ewma_read_fraction: 0.0,
             ops_total: 0,
             ops_this_epoch: 0,
             ops_last_epoch: 0,
@@ -75,6 +81,7 @@ impl ObjectInfo {
             lock: None,
         },
         ewma_misses_per_op: 0.0,
+        ewma_read_fraction: 0.0,
         ops_total: 0,
         ops_this_epoch: 0,
         ops_last_epoch: 0,
@@ -287,7 +294,9 @@ impl ObjectRegistry {
     }
 
     /// Records one completed operation on an object, updating its smoothed
-    /// miss rate, and returns a reference to the updated info.
+    /// miss rate and its smoothed read fraction (`kind` is the access kind
+    /// the operation declared at `ct_start`), and returns a reference to
+    /// the updated info.
     ///
     /// Unknown objects are auto-registered (the paper: "`ct_start`
     /// automatically adds an object to the table if the object is
@@ -299,6 +308,7 @@ impl ObjectRegistry {
         key: ObjectId,
         misses: u64,
         alpha: f64,
+        kind: AccessKind,
     ) -> &ObjectInfo {
         self.ensure_slot(id);
         let line_size = self.line_size;
@@ -320,11 +330,14 @@ impl ObjectRegistry {
             // per-operation footprint.
             info.desc.size = info.desc.size.max(misses.max(1) * line_size);
         }
+        let is_read = if kind == AccessKind::Read { 1.0 } else { 0.0 };
         if info.ops_total == 0 {
             info.ewma_misses_per_op = misses as f64;
+            info.ewma_read_fraction = is_read;
         } else {
             info.ewma_misses_per_op =
                 alpha * misses as f64 + (1.0 - alpha) * info.ewma_misses_per_op;
+            info.ewma_read_fraction = alpha * is_read + (1.0 - alpha) * info.ewma_read_fraction;
         }
         info.ops_total += 1;
         info.ops_this_epoch += 1;
@@ -448,9 +461,9 @@ mod tests {
     fn record_op_updates_ewma() {
         let mut reg = ObjectRegistry::new(64);
         reg.register(1, ObjectDescriptor::new(1, 0x1000, 4096));
-        reg.record_op(1, 1, 100, 0.5);
+        reg.record_op(1, 1, 100, 0.5, AccessKind::Write);
         assert!((reg.get(1).unwrap().ewma_misses_per_op - 100.0).abs() < 1e-9);
-        reg.record_op(1, 1, 0, 0.5);
+        reg.record_op(1, 1, 0, 0.5, AccessKind::Write);
         assert!((reg.get(1).unwrap().ewma_misses_per_op - 50.0).abs() < 1e-9);
         assert_eq!(reg.get(1).unwrap().ops_total, 2);
     }
@@ -458,20 +471,20 @@ mod tests {
     #[test]
     fn unknown_objects_are_auto_registered_with_estimated_size() {
         let mut reg = ObjectRegistry::new(64);
-        reg.record_op(3, 0x9000, 500, 0.3);
+        reg.record_op(3, 0x9000, 500, 0.3, AccessKind::Write);
         let info = reg.get(3).unwrap();
         assert!(info.size_estimated);
         assert_eq!(info.key(), 0x9000);
         assert_eq!(info.size(), 500 * 64);
         // A later, larger footprint grows the estimate.
-        reg.record_op(3, 0x9000, 800, 0.3);
+        reg.record_op(3, 0x9000, 800, 0.3, AccessKind::Write);
         assert_eq!(reg.get(3).unwrap().size(), 800 * 64);
     }
 
     #[test]
     fn explicit_registration_overrides_estimates() {
         let mut reg = ObjectRegistry::new(64);
-        reg.record_op(0, 0x9000, 10, 0.3);
+        reg.record_op(0, 0x9000, 10, 0.3, AccessKind::Write);
         reg.register(0, ObjectDescriptor::new(0x9000, 0x9000, 1234));
         let info = reg.get(0).unwrap();
         assert_eq!(info.size(), 1234);
@@ -485,7 +498,7 @@ mod tests {
         let mut reg = ObjectRegistry::new(64);
         reg.register(1, ObjectDescriptor::new(0x10, 0, 64));
         reg.register(2, ObjectDescriptor::new(0x20, 64, 64));
-        reg.record_op(1, 0x10, 5, 0.3);
+        reg.record_op(1, 0x10, 5, 0.3, AccessKind::Write);
         reg.roll_epoch();
         assert_eq!(reg.get(1).unwrap().ops_last_epoch, 1);
         assert_eq!(reg.idle_epochs(1), 0);
@@ -507,7 +520,7 @@ mod tests {
             reg.register(id, ObjectDescriptor::new(0x100 - u64::from(id), 0, 64));
         }
         reg.roll_epoch();
-        reg.record_op(0, 0x100, 1, 0.3); // object 0 active in epoch 2
+        reg.record_op(0, 0x100, 1, 0.3, AccessKind::Write); // object 0 active in epoch 2
         reg.roll_epoch();
         // Objects 1..3 idle 2 epochs (tie broken by key: 3 has the
         // smallest key), object 0 idle 0.
@@ -525,10 +538,10 @@ mod tests {
             );
         }
         for _ in 0..5 {
-            reg.record_op(2, 2, 1, 0.3);
+            reg.record_op(2, 2, 1, 0.3, AccessKind::Write);
         }
         for _ in 0..2 {
-            reg.record_op(3, 3, 1, 0.3);
+            reg.record_op(3, 3, 1, 0.3, AccessKind::Write);
         }
         reg.roll_epoch();
         assert_eq!(reg.hottest(2), vec![2, 3]);
@@ -541,9 +554,9 @@ mod tests {
         for id in 0..10u32 {
             reg.register(id, ObjectDescriptor::new(u64::from(id), 0, 64));
         }
-        reg.record_op(3, 3, 1, 0.3);
-        reg.record_op(7, 7, 1, 0.3);
-        reg.record_op(3, 3, 1, 0.3);
+        reg.record_op(3, 3, 1, 0.3, AccessKind::Write);
+        reg.record_op(7, 7, 1, 0.3, AccessKind::Write);
+        reg.record_op(3, 3, 1, 0.3, AccessKind::Write);
         reg.roll_epoch();
         let active: Vec<DenseObjectId> = reg.active_last_epoch().map(|(id, _)| id).collect();
         assert_eq!(active, vec![3, 7]);
@@ -554,7 +567,7 @@ mod tests {
     #[test]
     fn expense_scales_with_miss_cost() {
         let mut reg = ObjectRegistry::new(64);
-        reg.record_op(0, 7, 10, 1.0);
+        reg.record_op(0, 7, 10, 1.0, AccessKind::Write);
         let info = reg.get(0).unwrap();
         assert!((info.expense(100) - 1000.0).abs() < 1e-9);
     }
@@ -564,7 +577,7 @@ mod tests {
         // A derived Default would zero head/tail (the sentinel is
         // u32::MAX) and send idle_objects into a self-loop.
         let mut reg = ObjectRegistry::default();
-        reg.record_op(0, 0x1000, 5, 0.3);
+        reg.record_op(0, 0x1000, 5, 0.3, AccessKind::Write);
         reg.roll_epoch();
         reg.roll_epoch();
         assert_eq!(reg.idle_objects(1), vec![0]);
@@ -579,7 +592,7 @@ mod tests {
         reg.roll_epoch();
         // Object 1 registers two epochs later; object 2 is touched now.
         reg.register(1, ObjectDescriptor::new(0xB, 0, 64));
-        reg.record_op(2, 0xC, 1, 0.3);
+        reg.record_op(2, 0xC, 1, 0.3, AccessKind::Write);
         reg.roll_epoch();
         // Idle: object 0 for 3 epochs, object 1 for 1, object 2 for 0.
         assert_eq!(reg.idle_objects(1), vec![0, 1]);

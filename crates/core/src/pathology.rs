@@ -211,7 +211,7 @@ mod tests {
                 ObjectDescriptor::new(u64::from(id), u64::from(id) * 0x10000, size),
             );
             for _ in 0..ops {
-                reg.record_op(id, u64::from(id), 1, 0.3);
+                reg.record_op(id, u64::from(id), 1, 0.3, o2_runtime::AccessKind::Write);
             }
         }
         reg.roll_epoch();

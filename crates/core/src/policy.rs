@@ -16,7 +16,8 @@
 
 use o2_metrics::{LatencyRecorder, LatencySummary};
 use o2_runtime::{
-    DenseObjectId, EpochView, ObjectDescriptor, OpContext, Placement, PolicyCommand, SchedPolicy,
+    AccessKind, DenseObjectId, EpochView, ObjectDescriptor, OpContext, Placement, PolicyCommand,
+    PolicyReplicationStats, SchedPolicy,
 };
 use o2_sim::{CounterDelta, MachineConfig};
 
@@ -62,6 +63,17 @@ pub struct O2Stats {
     /// Migrations skipped because the target core was degraded — the
     /// "flip from migration to data movement" path.
     pub degraded_avoids: u64,
+    /// Objects promoted to extra replicas by the measured-read-fraction
+    /// planner (`serve_from_replicas`); counts replica copies created.
+    pub replica_promotions: u64,
+    /// Objects whose extra replicas were dropped at an epoch boundary
+    /// because their measured read fraction fell below the demote
+    /// threshold.
+    pub replica_demotions: u64,
+    /// Replica copies invalidated by a write at `ct_start`.
+    pub replica_invalidations: u64,
+    /// Operations served from a non-primary copy of a replicated object.
+    pub replica_served: u64,
     /// Streaming percentiles of per-operation busy cycles seen at
     /// `ct_end`, from the policy's constant-memory quantile sketch.
     pub op_latency: LatencySummary,
@@ -113,6 +125,11 @@ pub struct O2Policy {
     /// Constant-memory sketch of per-operation busy cycles, recorded at
     /// `ct_end`. Pure observation: it never feeds a placement decision.
     op_latency: LatencyRecorder,
+    /// Rotation counter for replica selection under `serve_from_replicas`:
+    /// advanced once per multi-copy selection so equal-distance copies
+    /// take turns deterministically instead of funnelling onto the lowest
+    /// core id.
+    replica_rotor: u64,
 }
 
 impl O2Policy {
@@ -136,6 +153,7 @@ impl O2Policy {
             detected_mask: 0,
             fault_plane_armed: false,
             op_latency: LatencyRecorder::new(POLICY_LATENCY_SEED),
+            replica_rotor: 0,
         }
     }
 
@@ -258,6 +276,22 @@ impl SchedPolicy for O2Policy {
         if self.cfg.enable_clustering {
             self.clustering.record(ctx.thread, ctx.object);
         }
+        let serving = self.cfg.serve_from_replicas;
+        if serving && ctx.kind == AccessKind::Write {
+            // First write to a replicated object: every non-primary copy
+            // is invalidated *before* the operation runs, so no stale
+            // replica can be read afterwards; the copies' budget comes
+            // back immediately. The write itself runs in place — the
+            // hardware invalidates the other caches' lines line-by-line
+            // as the store stream touches them, and measurement showed
+            // routing writes to the primary only adds a migration round
+            // trip on top of that coherence traffic (closed loop: −9%
+            // throughput; open loop: +62% arrival p99).
+            let dropped = self.table.drop_replicas(ctx.object);
+            self.stats.replica_invalidations += u64::from(dropped);
+            self.stats.local_operations += 1;
+            return Placement::Local;
+        }
         let replicas = self.table.replicas(ctx.object);
         if replicas.is_empty() {
             self.stats.local_operations += 1;
@@ -279,13 +313,72 @@ impl SchedPolicy for O2Policy {
             self.stats.local_operations += 1;
             return Placement::Local;
         }
+        // Serving-mode reads at a core with no local copy but with cap
+        // headroom: demand-fill. A qualifying read leaves a replica on
+        // this core and runs in place — the read-sharing refill of a
+        // write-invalidate protocol. The simulator charges the refill
+        // honestly (this core's first fetch of the object's lines is
+        // remote), and the next write drops the copies again. The heat
+        // gate decides the serving tier: an object re-read on every core
+        // within its cache lifetime (`ops ≥ replication_hot_ops` per
+        // epoch) is worth a copy per core, and because the op counters
+        // survive a write, the head re-fills immediately after each
+        // invalidation instead of convoying on its primary until the next
+        // epoch's promotion pass. Reads that do not qualify (or find the
+        // budget full) still run in place: measurement showed every
+        // migration variant — reads to the primary, reads to mid-tier
+        // copies — loses to letting the hardware fetch the lines, because
+        // a migration round trip costs more than the remote fetch it
+        // avoids unless the target's L2 is provably warm.
+        if serving
+            && ctx.kind == AccessKind::Read
+            && usable & (1u64 << ctx.core) == 0
+            && self.avoid_mask() & (1u64 << ctx.core) == 0
+            && replicas.mask().count_ones() < self.cfg.max_replicas
+        {
+            let qualifies = self.registry.get(ctx.object).is_some_and(|info| {
+                info.ewma_read_fraction >= self.cfg.replica_promote_read_fraction
+                    && info.ops_this_epoch.max(info.ops_last_epoch)
+                        >= self.cfg.replication_hot_ops.max(1)
+            });
+            if qualifies && self.table.add_replica(ctx.object, ctx.core) {
+                self.stats.replica_promotions += 1;
+                self.stats.replica_served += 1;
+            }
+            self.stats.local_operations += 1;
+            return Placement::Local;
+        }
+        // What reaches the selector: serving-mode reads at a core that
+        // already holds a copy (the local copy wins), reads at a
+        // fault-avoided core (migrate off the degraded core), reads of a
+        // cap-saturated object (rotate across its k copies), and — with
+        // serving off — every operation on an assigned object (the
+        // legacy nearest-copy migration path).
         // Invariant: `usable != 0` was checked above, so the bit iterator
-        // yields at least one core and `nearest_replica` returns `Some`.
+        // yields at least one core and both selectors return `Some`.
         debug_assert!(usable != 0);
-        let target = replication::nearest_replica(mask_bits(usable), ctx.core, |a, b| {
-            ctx.machine.hops_between_cores(a, b)
-        })
-        .expect("non-empty replica list");
+        let target = if serving && usable.count_ones() > 1 {
+            // Measured serving spreads distance ties across copies with a
+            // rotation counter; the legacy lowest-core-id tie-break would
+            // re-serialize a fully replicated object onto one core.
+            let rotor = self.replica_rotor;
+            self.replica_rotor = self.replica_rotor.wrapping_add(1);
+            replication::select_replica_rotated(
+                usable,
+                ctx.core,
+                |a, b| ctx.machine.hops_between_cores(a, b),
+                rotor,
+            )
+            .expect("non-empty replica list")
+        } else {
+            replication::nearest_replica(mask_bits(usable), ctx.core, |a, b| {
+                ctx.machine.hops_between_cores(a, b)
+            })
+            .expect("non-empty replica list")
+        };
+        if serving && Some(target) != self.table.primary(ctx.object) {
+            self.stats.replica_served += 1;
+        }
         if target == ctx.core {
             self.stats.local_operations += 1;
             Placement::Local
@@ -298,9 +391,13 @@ impl SchedPolicy for O2Policy {
     fn on_ct_end(&mut self, ctx: &OpContext<'_>, delta: &CounterDelta) {
         self.op_latency.record(delta.busy_cycles);
         let misses = delta.object_fetch_misses();
-        let info = self
-            .registry
-            .record_op(ctx.object, ctx.object_key, misses, self.cfg.ewma_alpha);
+        let info = self.registry.record_op(
+            ctx.object,
+            ctx.object_key,
+            misses,
+            self.cfg.ewma_alpha,
+            ctx.kind,
+        );
         let assigned = self.table.is_assigned(ctx.object);
         let decision = verdict(&self.cfg, info, assigned);
         if decision == MonitorVerdict::Assign {
@@ -371,10 +468,48 @@ impl SchedPolicy for O2Policy {
             }
         }
 
-        // Replicate hot read-mostly objects (Section 6.2 extension).
-        for r in replication::plan(&self.cfg, &self.table, &self.registry) {
-            if self.table.add_replica(r.object, r.core) {
-                self.stats.replications += 1;
+        let mut commands = Vec::new();
+        if self.cfg.serve_from_replicas {
+            // Measured-read-fraction serving: demote first (a cooled-off
+            // object's copies come back to the budget this epoch), then
+            // promote the hot read-heavy head proportionally to its heat.
+            // Avoided cores never receive new copies, so replica sets stay
+            // on live cores under the fault plane.
+            for object in replication::plan_demotions(&self.cfg, &self.table, &self.registry) {
+                if self.table.drop_replicas(object) > 0 {
+                    self.stats.replica_demotions += 1;
+                }
+            }
+            let avoid = self.avoid_mask();
+            for r in replication::plan_promotions(&self.cfg, &self.table, &self.registry, avoid) {
+                if self.table.add_replica(r.object, r.core) {
+                    self.stats.replica_promotions += 1;
+                    // Promotion's data-movement half: a copy created at an
+                    // epoch boundary is *cold* — the core has not touched
+                    // the object since its last invalidation — so it is
+                    // the most profitable fill and goes to the front of
+                    // the engine's idle-time queue.
+                    commands.push(PolicyCommand::FillReplica {
+                        object: r.object,
+                        core: r.core,
+                    });
+                }
+            }
+            // Behind the cold copies, refresh every copy of the serving
+            // head: lines decayed by capacity evictions or partial
+            // invalidations re-stream cheaply, and a saturated run never
+            // finds a gap so the commands cost nothing there.
+            commands.extend(
+                replication::plan_fills(&self.cfg, &self.table, &self.registry, avoid)
+                    .into_iter()
+                    .map(|(object, core)| PolicyCommand::FillReplica { object, core }),
+            );
+        } else {
+            // Replicate hot read-mostly objects (Section 6.2 extension).
+            for r in replication::plan(&self.cfg, &self.table, &self.registry) {
+                if self.table.add_replica(r.object, r.core) {
+                    self.stats.replications += 1;
+                }
             }
         }
 
@@ -396,7 +531,7 @@ impl SchedPolicy for O2Policy {
             }
         }
 
-        Vec::new()
+        commands
     }
 
     fn core_down(&mut self, core: o2_runtime::CoreId) {
@@ -448,6 +583,15 @@ impl SchedPolicy for O2Policy {
             objects_rehomed: self.stats.objects_rehomed,
             objects_stranded: self.stats.objects_stranded,
             degraded_avoids: self.stats.degraded_avoids,
+        }
+    }
+
+    fn replication_stats(&self) -> PolicyReplicationStats {
+        PolicyReplicationStats {
+            promotions: self.stats.replica_promotions,
+            demotions: self.stats.replica_demotions,
+            invalidations: self.stats.replica_invalidations,
+            replica_served: self.stats.replica_served,
         }
     }
 }
@@ -552,6 +696,7 @@ mod tests {
                 home_core: 0,
                 object: 0,
                 object_key: 0x1000,
+                kind: AccessKind::Write,
                 now: 0,
                 machine: &machine,
             };
@@ -578,6 +723,7 @@ mod tests {
                 home_core: 0,
                 object: 0,
                 object_key: 0x1000,
+                kind: AccessKind::Write,
                 now: i,
                 machine: &machine,
             };
@@ -598,6 +744,7 @@ mod tests {
             home_core: 3,
             object: 0,
             object_key: 0x1000,
+            kind: AccessKind::Write,
             now: 100,
             machine: &machine,
         };
@@ -623,6 +770,7 @@ mod tests {
                 home_core: 0,
                 object: 0,
                 object_key: 0x1000,
+                kind: AccessKind::Write,
                 now: 0,
                 machine: &machine,
             };
@@ -645,6 +793,7 @@ mod tests {
                 home_core: 1,
                 object: 1,
                 object_key: 0x2000,
+                kind: AccessKind::Write,
                 now: epoch * 100_000,
                 machine: &machine,
             };
@@ -673,6 +822,7 @@ mod tests {
             home_core: dense % 4,
             object: dense,
             object_key: key,
+            kind: AccessKind::Write,
             now: 0,
             machine,
         };
@@ -801,6 +951,7 @@ mod tests {
             home_core: dead,
             object: 0,
             object_key: 0x1000,
+            kind: AccessKind::Write,
             now: 0,
             machine: &machine,
         };
@@ -826,6 +977,7 @@ mod tests {
             home_core: other,
             object: 0,
             object_key: 0x1000,
+            kind: AccessKind::Write,
             now: 0,
             machine: &machine,
         };
@@ -877,6 +1029,7 @@ mod tests {
             home_core: other,
             object: 0,
             object_key: 0x1000,
+            kind: AccessKind::Write,
             now: 0,
             machine: &machine,
         };
@@ -898,5 +1051,244 @@ mod tests {
         assert_eq!(policy.name(), "coretime");
         let dbg = format!("{policy:?}");
         assert!(dbg.contains("O2Policy"));
+    }
+
+    /// Measured-read-fraction serving on the quad test machine: every
+    /// core may hold a copy, two ops per epoch make an object hot, and
+    /// the 0.60/0.40 hysteresis band matches the scale scenarios.
+    fn serving_config() -> CoreTimeConfig {
+        let mut cfg = CoreTimeConfig::default();
+        cfg.enable_replication = true;
+        cfg.serve_from_replicas = true;
+        cfg.max_replicas = 4;
+        cfg.replication_hot_ops = 2;
+        cfg.replica_promote_read_fraction = 0.60;
+        cfg.replica_demote_read_fraction = 0.40;
+        cfg
+    }
+
+    /// Runs one expensive operation on object 0 from `core` with the
+    /// given access kind, through both halves of the ct interface.
+    fn serving_op(
+        policy: &mut O2Policy,
+        machine: &Machine,
+        core: u32,
+        kind: AccessKind,
+    ) -> Placement {
+        let ctx = OpContext {
+            thread: core as usize,
+            core,
+            home_core: core,
+            object: 0,
+            object_key: 0x1000,
+            kind,
+            now: 0,
+            machine,
+        };
+        let placement = policy.on_ct_start(&ctx);
+        let delta = CounterDelta {
+            l2_misses: 5_000,
+            busy_cycles: 500_000,
+            ..Default::default()
+        };
+        policy.on_ct_end(&ctx, &delta);
+        placement
+    }
+
+    /// Assigns object 0 and spreads a copy onto every core via the
+    /// demand-fill path; returns the primary core.
+    fn replicate_everywhere(policy: &mut O2Policy, machine: &Machine) -> u32 {
+        policy.register_object(0, &ObjectDescriptor::new(0x1000, 0x1000, 32 * 1024));
+        for _ in 0..5 {
+            serving_op(policy, machine, 0, AccessKind::Read);
+        }
+        assert!(policy.table().is_assigned(0), "reads never assigned");
+        let primary = policy.table().primary(0).expect("assigned");
+        for core in 0..4 {
+            serving_op(policy, machine, core, AccessKind::Read);
+        }
+        assert_eq!(policy.table().replicas(0).len(), 4);
+        primary
+    }
+
+    #[test]
+    fn first_write_invalidates_every_replica_and_frees_the_budget() {
+        let machine = quad_machine();
+        let mut policy = O2Policy::new(machine.config(), serving_config());
+        let primary = replicate_everywhere(&mut policy, &machine);
+        for core in 0..4u32 {
+            assert_eq!(
+                policy.table().used_bytes(core),
+                32 * 1024,
+                "core {core} does not charge its copy"
+            );
+        }
+        // The first write runs in place, and by the time it does, every
+        // non-primary copy is already gone — no stale replica can serve a
+        // read afterwards.
+        let placement = serving_op(&mut policy, &machine, (primary + 2) % 4, AccessKind::Write);
+        assert_eq!(placement, Placement::Local);
+        assert_eq!(policy.stats().replica_invalidations, 3);
+        assert_eq!(policy.table().replicas(0).len(), 1);
+        assert_eq!(policy.table().primary(0), Some(primary));
+        // The dropped copies' bytes return to the packing budget at once.
+        for core in 0..4u32 {
+            let expected = if core == primary { 32 * 1024 } else { 0 };
+            assert_eq!(policy.table().used_bytes(core), expected);
+        }
+    }
+
+    #[test]
+    fn alternating_reads_and_writes_hold_the_hysteresis_band() {
+        let machine = quad_machine();
+        let mut policy = O2Policy::new(machine.config(), serving_config());
+        replicate_everywhere(&mut policy, &machine);
+        // Alternating read/write accounting traffic settles the EWMA into
+        // the (0.40, 0.60) band — strictly between the thresholds — so
+        // twenty epochs of it must neither demote the copies nor flap
+        // them down and up.
+        let idle = vec![CounterDelta::default(); 4];
+        let promotions_before = policy.stats().replica_promotions;
+        for epoch in 0..20u64 {
+            for i in 0..10 {
+                let kind = if i % 2 == 0 {
+                    AccessKind::Read
+                } else {
+                    AccessKind::Write
+                };
+                let ctx = OpContext {
+                    thread: 0,
+                    core: 0,
+                    home_core: 0,
+                    object: 0,
+                    object_key: 0x1000,
+                    kind,
+                    now: epoch * 100_000,
+                    machine: &machine,
+                };
+                let delta = CounterDelta {
+                    l2_misses: 100,
+                    busy_cycles: 10_000,
+                    ..Default::default()
+                };
+                policy.on_ct_end(&ctx, &delta);
+            }
+            policy.on_epoch(&EpochView {
+                now: (epoch + 1) * 100_000,
+                machine: &machine,
+                deltas: &idle,
+            });
+        }
+        assert_eq!(policy.stats().replica_demotions, 0, "band traffic demoted");
+        assert_eq!(
+            policy.stats().replica_promotions,
+            promotions_before,
+            "band traffic re-promoted"
+        );
+        assert_eq!(policy.table().replicas(0).len(), 4);
+        // A sustained write-only phase leaves the band: exactly one
+        // demotion tears the copies down to the primary.
+        for epoch in 20..24u64 {
+            for _ in 0..10 {
+                let ctx = OpContext {
+                    thread: 0,
+                    core: 0,
+                    home_core: 0,
+                    object: 0,
+                    object_key: 0x1000,
+                    kind: AccessKind::Write,
+                    now: epoch * 100_000,
+                    machine: &machine,
+                };
+                policy.on_ct_end(
+                    &ctx,
+                    &CounterDelta {
+                        l2_misses: 100,
+                        busy_cycles: 10_000,
+                        ..Default::default()
+                    },
+                );
+            }
+            policy.on_epoch(&EpochView {
+                now: (epoch + 1) * 100_000,
+                machine: &machine,
+                deltas: &idle,
+            });
+        }
+        assert_eq!(policy.stats().replica_demotions, 1);
+        assert_eq!(policy.table().replicas(0).len(), 1);
+    }
+
+    #[test]
+    fn replica_sets_stay_on_live_cores_under_the_fault_plane() {
+        let machine = quad_machine();
+        let mut policy = O2Policy::new(machine.config(), serving_config());
+        let primary = replicate_everywhere(&mut policy, &machine);
+        let dead = (primary + 1) % 4;
+        policy.core_down(dead);
+        assert_eq!(
+            policy.table().replicas(0).mask() & (1 << dead),
+            0,
+            "dead core still holds a copy"
+        );
+        // A demand read arriving on the dead core must not re-create a
+        // copy there (the thread is being drained; placement still works).
+        serving_op(&mut policy, &machine, dead, AccessKind::Read);
+        assert_eq!(policy.table().replicas(0).mask() & (1 << dead), 0);
+        // Hot read traffic on the survivors re-spreads the object, but
+        // only across live cores — both the demand path and the epoch
+        // promotion planner respect the avoid mask.
+        let idle = vec![CounterDelta::default(); 4];
+        for epoch in 0..3u64 {
+            for core in 0..4u32 {
+                if core != dead {
+                    serving_op(&mut policy, &machine, core, AccessKind::Read);
+                }
+            }
+            policy.on_epoch(&EpochView {
+                now: (epoch + 1) * 100_000,
+                machine: &machine,
+                deltas: &idle,
+            });
+        }
+        let mask = policy.table().replicas(0).mask();
+        assert_eq!(mask & (1 << dead), 0, "promotion targeted a dead core");
+        assert_eq!(mask.count_ones(), 3, "survivors did not all regain copies");
+    }
+
+    #[test]
+    fn cap_saturated_reads_rotate_across_every_copy() {
+        let machine = quad_machine();
+        let mut cfg = serving_config();
+        cfg.max_replicas = 2;
+        let mut policy = O2Policy::new(machine.config(), cfg);
+        policy.register_object(0, &ObjectDescriptor::new(0x1000, 0x1000, 32 * 1024));
+        for _ in 0..5 {
+            serving_op(&mut policy, &machine, 0, AccessKind::Read);
+        }
+        let primary = policy.table().primary(0).expect("assigned");
+        // One demand fill reaches the cap of two copies.
+        let second = (primary + 1) % 4;
+        serving_op(&mut policy, &machine, second, AccessKind::Read);
+        assert_eq!(policy.table().replicas(0).len(), 2);
+        // A seeded storm of reads from the two copyless cores: the
+        // rotated selector must spread them across both copies instead of
+        // funnelling every request onto one core.
+        let mut per_copy = [0u64; 4];
+        for i in 0..100u32 {
+            let from = [(primary + 2) % 4, (primary + 3) % 4][(i % 2) as usize];
+            match serving_op(&mut policy, &machine, from, AccessKind::Read) {
+                Placement::On(core) => per_copy[core as usize] += 1,
+                Placement::Local => per_copy[from as usize] += 1,
+            }
+        }
+        assert!(
+            per_copy[primary as usize] > 0 && per_copy[second as usize] > 0,
+            "a copy served zero operations in the storm: {per_copy:?}"
+        );
+        assert!(policy.stats().replica_served > 0);
+        // Nothing landed on the copyless cores.
+        assert_eq!(per_copy[(primary as usize + 2) % 4], 0);
+        assert_eq!(per_copy[(primary as usize + 3) % 4], 0);
     }
 }

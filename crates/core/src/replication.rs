@@ -23,10 +23,17 @@ pub struct Replica {
     pub size: u64,
 }
 
-/// Plans replica creations for one epoch: read-mostly objects that were
-/// operated on at least `replication_hot_ops` times last epoch gain one
-/// replica per epoch, up to `max_replicas`, placed on the core with the
-/// most free budget.
+/// Plans replica creations for one epoch from the static `read_mostly`
+/// hint: hinted objects that were operated on at least
+/// `replication_hot_ops` times last epoch gain **at most one replica per
+/// object per call** (one per epoch), placed on the core with the most
+/// free budget.
+///
+/// `max_replicas` caps the **total copies** of an object, the primary
+/// included: with `max_replicas = 2` an object holding a primary plus one
+/// replica is already at the cap and gains nothing. See
+/// [`plan_promotions`] for the measured-read-fraction planner that
+/// replicates proportionally to heat in a single epoch.
 pub fn plan(
     cfg: &CoreTimeConfig,
     table: &AssignmentTable,
@@ -85,6 +92,142 @@ pub fn plan(
     plans
 }
 
+/// Plans replica drops for one epoch under measured-read-fraction serving:
+/// every replicated object that was operated on last epoch and whose
+/// smoothed read fraction fell below `replica_demote_read_fraction` loses
+/// its extra copies. Objects idle last epoch keep their replicas — with no
+/// reads *or* writes there is no evidence the mix changed. The demotion
+/// threshold sits below the promotion threshold, so a borderline object
+/// does not flap between the two every epoch.
+pub fn plan_demotions(
+    cfg: &CoreTimeConfig,
+    table: &AssignmentTable,
+    registry: &ObjectRegistry,
+) -> Vec<DenseObjectId> {
+    let mut drops: Vec<(ObjectId, DenseObjectId)> = registry
+        .active_last_epoch()
+        .filter(|&(id, info)| {
+            table.replicas(id).len() > 1
+                && info.ewma_read_fraction < cfg.replica_demote_read_fraction
+        })
+        .map(|(id, info)| (info.key(), id))
+        .collect();
+    drops.sort_unstable();
+    drops.into_iter().map(|(_, id)| id).collect()
+}
+
+/// Plans replica creations for one epoch under measured-read-fraction
+/// serving. Unlike [`plan`], this planner needs no static hint and is not
+/// limited to one replica per epoch: an object hot enough to deserve `k`
+/// copies gets all `k - existing` new replicas in this call, so a newly
+/// hot head does not take `k` epochs to spread.
+///
+/// Candidates are the objects operated on last epoch with at least
+/// `replication_hot_ops` operations and a smoothed read fraction at or
+/// above `replica_promote_read_fraction`. The copy target scales with
+/// heat — `1 + ops_last_epoch / replication_hot_ops` copies, capped at
+/// `max_replicas` total (primary included). New copies go to the cores
+/// with the most free budget among those holding no copy and not in
+/// `avoid_mask` (offline or degraded cores never receive replicas).
+pub fn plan_promotions(
+    cfg: &CoreTimeConfig,
+    table: &AssignmentTable,
+    registry: &ObjectRegistry,
+    avoid_mask: u64,
+) -> Vec<Replica> {
+    if !cfg.enable_replication || !cfg.serve_from_replicas {
+        return Vec::new();
+    }
+    let mut free: Vec<u64> = (0..table.num_cores() as CoreId)
+        .map(|c| table.free_bytes(c))
+        .collect();
+    let mut candidates: Vec<(DenseObjectId, u64, ObjectId)> = registry
+        .active_last_epoch()
+        .filter(|(_, info)| {
+            info.ops_last_epoch >= cfg.replication_hot_ops.max(1)
+                && info.ewma_read_fraction >= cfg.replica_promote_read_fraction
+        })
+        .map(|(id, info)| (id, info.ops_last_epoch, info.key()))
+        .collect();
+    candidates.sort_by_key(|&(_, ops, key)| (std::cmp::Reverse(ops), key));
+
+    let mut plans = Vec::new();
+    for (object, ops, _key) in candidates {
+        let existing = table.replicas(object);
+        if existing.is_empty() {
+            continue;
+        }
+        let heat = 1 + ops / cfg.replication_hot_ops.max(1);
+        let target = heat.min(u64::from(cfg.max_replicas)) as usize;
+        if existing.len() >= target {
+            continue;
+        }
+        // Invariant: `object` came from the table's assigned set above.
+        let size = table
+            .charged_bytes(object)
+            .expect("assigned object has a charge");
+        let mut holders = existing.mask();
+        for _ in existing.len()..target {
+            let core = (0..table.num_cores() as CoreId)
+                .filter(|&c| {
+                    holders & (1u64 << c) == 0
+                        && avoid_mask & (1u64 << c) == 0
+                        && free[c as usize] >= size
+                })
+                .max_by_key(|&c| free[c as usize]);
+            let Some(core) = core else {
+                break;
+            };
+            holders |= 1u64 << core;
+            free[core as usize] -= size;
+            plans.push(Replica { object, core, size });
+        }
+    }
+    plans
+}
+
+/// Plans idle-time cache fills for one epoch under measured serving:
+/// every copy (primary included) of every object that currently qualifies
+/// for read serving — operated on last epoch, at least
+/// `replication_hot_ops` ops, read fraction at or above the promote
+/// threshold — is re-streamed into its core's caches by the engine the
+/// next time that core has nothing runnable. This is the data-movement
+/// half of promotion: bookkeeping alone leaves the first post-write read
+/// on each core paying the remote refill inline, while a background fill
+/// absorbs it into an arrival gap. Copies on avoided cores are skipped.
+///
+/// Hottest objects first (ties by external key), so a core that finds
+/// only a short idle gap warms the head before the tail.
+pub fn plan_fills(
+    cfg: &CoreTimeConfig,
+    table: &AssignmentTable,
+    registry: &ObjectRegistry,
+    avoid_mask: u64,
+) -> Vec<(DenseObjectId, CoreId)> {
+    if !cfg.enable_replication || !cfg.serve_from_replicas {
+        return Vec::new();
+    }
+    let mut candidates: Vec<(DenseObjectId, u64, ObjectId)> = registry
+        .active_last_epoch()
+        .filter(|(_, info)| {
+            info.ops_last_epoch >= cfg.replication_hot_ops.max(1)
+                && info.ewma_read_fraction >= cfg.replica_promote_read_fraction
+        })
+        .map(|(id, info)| (id, info.ops_last_epoch, info.key()))
+        .collect();
+    candidates.sort_by_key(|&(_, ops, key)| (std::cmp::Reverse(ops), key));
+    let mut fills = Vec::new();
+    for (object, _ops, _key) in candidates {
+        let mut bits = table.replicas(object).mask() & !avoid_mask;
+        while bits != 0 {
+            let core = bits.trailing_zeros();
+            bits &= bits - 1;
+            fills.push((object, core));
+        }
+    }
+    fills
+}
+
 /// Chooses which copy of a replicated object an operation should use: the
 /// one closest to the requesting core (by chip hop distance), breaking ties
 /// towards the lowest core id for determinism. Takes any core iterator, so
@@ -99,10 +242,63 @@ pub fn nearest_replica(
         .min_by_key(|&c| (hops(from_core, c), c))
 }
 
+/// Replica selection for measured serving: still prefers the closest copy
+/// (a hop-0 local copy always wins), but breaks distance ties by a
+/// caller-supplied rotation counter instead of the lowest core id — the
+/// tie-break that re-serialized a replicated head onto one copy. The
+/// caller advances `rotor` once per selection, so equal-distance copies
+/// receive requests round-robin, deterministically. Allocation-free: two
+/// passes over the copies bitmask.
+pub fn select_replica_rotated(
+    mask: u64,
+    from_core: CoreId,
+    hops: impl Fn(CoreId, CoreId) -> u32,
+    rotor: u64,
+) -> Option<CoreId> {
+    // A copy on the requesting core itself is unbeatable: zero hops *and*
+    // no migration. The hop metric is chip-granular, so without this the
+    // local copy would tie with its chip-mates at hop 0 and the rotor
+    // would bounce requests between neighbours that all hold the data.
+    if mask & (1u64 << from_core) != 0 {
+        return Some(from_core);
+    }
+    let mut min_hops = u32::MAX;
+    let mut ties = 0u64;
+    let mut bits = mask;
+    while bits != 0 {
+        let c = bits.trailing_zeros();
+        bits &= bits - 1;
+        let h = hops(from_core, c);
+        if h < min_hops {
+            min_hops = h;
+            ties = 1;
+        } else if h == min_hops {
+            ties += 1;
+        }
+    }
+    if ties == 0 {
+        return None;
+    }
+    let skip = rotor % ties;
+    let mut seen = 0u64;
+    let mut bits = mask;
+    while bits != 0 {
+        let c = bits.trailing_zeros();
+        bits &= bits - 1;
+        if hops(from_core, c) == min_hops {
+            if seen == skip {
+                return Some(c);
+            }
+            seen += 1;
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use o2_runtime::ObjectDescriptor;
+    use o2_runtime::{AccessKind, ObjectDescriptor};
 
     fn setup(hot_ops: u64, read_mostly: bool) -> (CoreTimeConfig, AssignmentTable, ObjectRegistry) {
         let mut cfg = CoreTimeConfig::default();
@@ -114,7 +310,28 @@ mod tests {
             ObjectDescriptor::new(1, 0x1000, 8_000).read_mostly(read_mostly),
         );
         for _ in 0..hot_ops {
-            registry.record_op(1, 1, 4, 0.3);
+            registry.record_op(1, 1, 4, 0.3, AccessKind::Write);
+        }
+        registry.roll_epoch();
+        table.assign(1, 8_000, 0);
+        (cfg, table, registry)
+    }
+
+    /// Like `setup`, but with measured serving enabled and the object's
+    /// last-epoch ops recorded with the given access kind (no static
+    /// `read_mostly` hint — serving must not need it).
+    fn serving_setup(
+        ops: u64,
+        kind: AccessKind,
+    ) -> (CoreTimeConfig, AssignmentTable, ObjectRegistry) {
+        let mut cfg = CoreTimeConfig::default();
+        cfg.enable_replication = true;
+        cfg.serve_from_replicas = true;
+        let mut table = AssignmentTable::new(vec![100_000; 4]);
+        let mut registry = ObjectRegistry::new(64);
+        registry.register(1, ObjectDescriptor::new(1, 0x1000, 8_000));
+        for _ in 0..ops {
+            registry.record_op(1, 1, 4, 0.3, kind);
         }
         registry.roll_epoch();
         table.assign(1, 8_000, 0);
@@ -185,6 +402,130 @@ mod tests {
         let (cfg, mut table, registry) = setup(100, true);
         table.unassign(1);
         assert!(plan(&cfg, &table, &registry).is_empty());
+    }
+
+    #[test]
+    fn max_replicas_counts_the_primary_as_a_copy() {
+        // Boundary pin for the cap semantics: `max_replicas = 1` means
+        // "primary only" — even a blazing-hot hinted object gains nothing,
+        // from either planner.
+        let (mut cfg, table, registry) = setup(10_000, true);
+        cfg.max_replicas = 1;
+        assert!(plan(&cfg, &table, &registry).is_empty());
+        let (mut cfg, table, mut registry) = serving_setup(10_000, AccessKind::Read);
+        cfg.max_replicas = 1;
+        assert!(plan_promotions(&cfg, &table, &registry, 0).is_empty());
+        // `max_replicas = 2` admits exactly one extra copy beyond the
+        // primary, however hot the object.
+        cfg.max_replicas = 2;
+        assert_eq!(plan_promotions(&cfg, &table, &registry, 0).len(), 1);
+        // And the hinted planner adds at most one replica per call even
+        // with cap headroom.
+        cfg.max_replicas = 4;
+        registry.get_mut(1).unwrap().desc.read_mostly = true;
+        assert_eq!(plan(&cfg, &table, &registry).len(), 1);
+    }
+
+    #[test]
+    fn promotion_replicates_proportionally_to_heat_in_one_call() {
+        // 300 ops at hot_ops=64 wants 1 + 300/64 = 5 total copies, capped
+        // at max_replicas=4: three new replicas appear in a single epoch,
+        // one per remaining core.
+        let (cfg, table, registry) = serving_setup(300, AccessKind::Read);
+        let plans = plan_promotions(&cfg, &table, &registry, 0);
+        assert_eq!(plans.len(), 3);
+        let mut cores: Vec<CoreId> = plans.iter().map(|p| p.core).collect();
+        cores.sort_unstable();
+        assert_eq!(cores, vec![1, 2, 3]);
+        // Barely hot wants only 1 + 64/64 = 2 total copies.
+        let (cfg, table, registry) = serving_setup(64, AccessKind::Read);
+        assert_eq!(plan_promotions(&cfg, &table, &registry, 0).len(), 1);
+    }
+
+    #[test]
+    fn write_heavy_or_gated_objects_are_never_promoted() {
+        // All-write history: measured read fraction 0.0 < promote 0.90.
+        let (cfg, table, registry) = serving_setup(300, AccessKind::Write);
+        assert!(plan_promotions(&cfg, &table, &registry, 0).is_empty());
+        // Serving off (or replication off) plans nothing.
+        let (mut cfg, table, registry) = serving_setup(300, AccessKind::Read);
+        cfg.serve_from_replicas = false;
+        assert!(plan_promotions(&cfg, &table, &registry, 0).is_empty());
+        // Too few ops last epoch.
+        let (cfg, table, registry) = serving_setup(10, AccessKind::Read);
+        assert!(plan_promotions(&cfg, &table, &registry, 0).is_empty());
+    }
+
+    #[test]
+    fn avoided_cores_never_receive_promotions() {
+        let (cfg, table, registry) = serving_setup(10_000, AccessKind::Read);
+        // Cores 1 and 2 are avoided (offline/degraded): only core 3 may
+        // receive a copy.
+        let plans = plan_promotions(&cfg, &table, &registry, 0b0110);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].core, 3);
+    }
+
+    #[test]
+    fn demotion_drops_mixed_objects_but_spares_idle_and_read_heavy_ones() {
+        // Mixed history → EWMA read fraction far below the demote
+        // threshold → demoted.
+        let (cfg, mut table, mut registry) = serving_setup(100, AccessKind::Write);
+        table.add_replica(1, 1);
+        assert_eq!(plan_demotions(&cfg, &table, &registry), vec![1]);
+        // Idle last epoch: no evidence the mix changed, keep the copies.
+        registry.roll_epoch();
+        assert!(plan_demotions(&cfg, &table, &registry).is_empty());
+        // Read-heavy object above the demote threshold stays promoted.
+        let (cfg, mut table, registry) = serving_setup(100, AccessKind::Read);
+        table.add_replica(1, 1);
+        assert!(plan_demotions(&cfg, &table, &registry).is_empty());
+        // Unreplicated objects are never demotion candidates.
+        let (cfg, table, registry) = serving_setup(100, AccessKind::Write);
+        assert!(plan_demotions(&cfg, &table, &registry).is_empty());
+    }
+
+    #[test]
+    fn fill_plan_lists_every_copy_of_the_serving_head_and_skips_avoided_cores() {
+        let (cfg, mut table, registry) = serving_setup(300, AccessKind::Read);
+        table.add_replica(1, 1);
+        table.add_replica(1, 3);
+        // Every copy, the primary included, in ascending core order.
+        assert_eq!(
+            plan_fills(&cfg, &table, &registry, 0),
+            vec![(1, 0), (1, 1), (1, 3)]
+        );
+        // Copies on avoided cores are skipped, not re-targeted.
+        assert_eq!(
+            plan_fills(&cfg, &table, &registry, 0b0001),
+            vec![(1, 1), (1, 3)]
+        );
+        // Serving off plans nothing even for a qualifying object.
+        let mut off = cfg;
+        off.serve_from_replicas = false;
+        assert!(plan_fills(&off, &table, &registry, 0).is_empty());
+        // A write-heavy object is below the promote threshold: its copies
+        // are never re-streamed.
+        let (cfg, mut table, registry) = serving_setup(300, AccessKind::Write);
+        table.add_replica(1, 1);
+        assert!(plan_fills(&cfg, &table, &registry, 0).is_empty());
+    }
+
+    #[test]
+    fn rotated_selection_spreads_distance_ties_and_keeps_local_wins() {
+        let hops = |a: CoreId, b: CoreId| u32::from((a / 4) != (b / 4));
+        // Copies on 1, 2 and 6; requester on core 0 (chip 0): cores 1 and
+        // 2 tie at hop 0 (same chip) and the rotor walks the tied pair
+        // round-robin, deterministically.
+        let mask = (1u64 << 1) | (1u64 << 2) | (1u64 << 6);
+        assert_eq!(select_replica_rotated(mask, 0, hops, 0), Some(1));
+        assert_eq!(select_replica_rotated(mask, 0, hops, 1), Some(2));
+        assert_eq!(select_replica_rotated(mask, 0, hops, 2), Some(1));
+        // A strictly closer copy wins regardless of the rotor.
+        assert_eq!(select_replica_rotated(mask, 5, hops, 0), Some(6));
+        assert_eq!(select_replica_rotated(mask, 5, hops, 7), Some(6));
+        // Empty mask: nothing to pick.
+        assert_eq!(select_replica_rotated(0, 0, hops, 3), None);
     }
 
     #[test]

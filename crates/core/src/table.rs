@@ -275,6 +275,30 @@ impl AssignmentTable {
         true
     }
 
+    /// Drops every non-primary copy of an object, releasing exactly the
+    /// bytes each copy was charged at while leaving the primary assignment
+    /// untouched. This is the first-write invalidation path: a write to a
+    /// replicated object must retire the stale copies before it runs.
+    /// Returns the number of copies dropped (zero if the object is
+    /// unassigned or unreplicated).
+    pub fn drop_replicas(&mut self, object: DenseObjectId) -> u32 {
+        let s = self.slot(object);
+        if !s.is_assigned() {
+            return 0;
+        }
+        let extras = s.cores & !(1u64 << s.primary);
+        if extras == 0 {
+            return 0;
+        }
+        for core in CoreSet(extras).iter() {
+            let c = core as usize;
+            self.used_bytes[c] = self.used_bytes[c].saturating_sub(s.bytes);
+            self.per_core[c].retain(|&o| o != object);
+        }
+        self.slot_mut(object).cores = 1u64 << s.primary;
+        extras.count_ones()
+    }
+
     /// Removes an object (and all its replicas) from the table, releasing
     /// exactly the bytes each copy was charged at. Returns whether it was
     /// assigned.
@@ -405,6 +429,26 @@ mod tests {
     fn replica_of_unassigned_object_fails() {
         let mut t = table();
         assert!(!t.add_replica(5, 0));
+    }
+
+    #[test]
+    fn drop_replicas_keeps_the_primary_and_frees_each_copys_budget() {
+        let mut t = table();
+        t.assign(1, 300, 0);
+        assert!(t.add_replica(1, 1));
+        assert!(t.add_replica(1, 3));
+        assert_eq!(t.total_assigned_bytes(), 900);
+        assert_eq!(t.drop_replicas(1), 2);
+        assert_eq!(t.primary(1), Some(0));
+        assert_eq!(t.replicas(1).iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(t.used_bytes(0), 300, "the primary copy stays charged");
+        assert_eq!(t.used_bytes(1), 0);
+        assert_eq!(t.used_bytes(3), 0);
+        assert!(t.objects_on(1).is_empty());
+        assert!(t.objects_on(3).is_empty());
+        // Unreplicated and unassigned objects drop nothing.
+        assert_eq!(t.drop_replicas(1), 0);
+        assert_eq!(t.drop_replicas(9), 0);
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub mod scenario;
 
 pub use output::{render_json, render_reports};
 pub use policy::PolicyKind;
-pub use registry::{find_scenario, quick_mode, registry, scale_spec_for};
+pub use registry::{find_scenario, quick_mode, registry, scale_spec_for, serving_coretime_config};
 pub use runner::{run_matrix, MatrixRun, ScenarioResult, SeriesResult};
 pub use scenario::{derive_cell_seed, CellResult, Scenario, SeriesDef, SweepPoint};

@@ -35,6 +35,7 @@ pub use dirent::{
 };
 pub use fat::{Fat, FatError, FAT_EOC, FAT_FREE, FIRST_DATA_CLUSTER};
 pub use lookup::{
-    directory_descriptor, lookup_actions, lookup_actions_unannotated, resolve, LookupCost, LookupOp,
+    directory_descriptor, lookup_actions, lookup_actions_kind, lookup_actions_unannotated, resolve,
+    LookupCost, LookupOp,
 };
 pub use volume::{DirId, DirectoryHandle, Volume, VolumeError, VolumeGeometry, DELETED_MARKER};

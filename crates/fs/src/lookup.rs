@@ -6,7 +6,7 @@
 //! scan the entries up to the match, pay the name-comparison cost, unlock,
 //! `ct_end()` — mirroring Figure 3 of the paper.
 
-use o2_runtime::{Action, LockId, ObjectDescriptor, OpBuilder};
+use o2_runtime::{AccessKind, Action, LockId, ObjectDescriptor, OpBuilder};
 
 use crate::dirent::DIRENT_SIZE;
 use crate::volume::{DirectoryHandle, Volume, VolumeError};
@@ -58,9 +58,26 @@ pub fn lookup_actions(
     entry_index: u32,
     cost: &LookupCost,
 ) -> Vec<Action> {
+    lookup_actions_kind(dir, lock, entry_index, cost, AccessKind::Write)
+}
+
+/// Like [`lookup_actions`] but with an explicit access kind.
+///
+/// A read-kind lookup tells the policy the operation will not mutate the
+/// directory, so it may be served from any replica; a write-kind lookup
+/// must run against the primary copy. `lookup_actions` defaults to
+/// [`AccessKind::Write`], the conservative choice that reproduces the
+/// original single-copy behaviour.
+pub fn lookup_actions_kind(
+    dir: &DirectoryHandle,
+    lock: LockId,
+    entry_index: u32,
+    cost: &LookupCost,
+    kind: AccessKind,
+) -> Vec<Action> {
     let examined = entry_index.min(dir.entry_count.saturating_sub(1)) + 1;
     let bytes = u64::from(examined) * DIRENT_SIZE as u64;
-    OpBuilder::annotated(dir.object_id())
+    OpBuilder::annotated_kind(dir.object_id(), kind)
         .compute(cost.fixed_overhead_cycles)
         .lock(lock)
         .read(dir.sim_addr, bytes)
@@ -135,7 +152,10 @@ mod tests {
         let actions = lookup_actions(dir, 3, 9, &cost);
         // ct_start, fixed compute, lock, read, compare compute, unlock, ct_end
         assert_eq!(actions.len(), 7);
-        assert_eq!(actions[0], Action::CtStart(dir.object_id()));
+        assert_eq!(
+            actions[0],
+            Action::CtStart(dir.object_id(), o2_runtime::AccessKind::Write)
+        );
         assert_eq!(actions[6], Action::CtEnd);
         match actions[3] {
             Action::Read { addr, len } => {
@@ -148,6 +168,18 @@ mod tests {
             Action::Compute(c) => assert_eq!(c, 10 * cost.compare_cycles_per_entry),
             ref other => panic!("expected compute, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn kind_aware_lookup_changes_only_the_annotation() {
+        let v = mapped_volume();
+        let dir = v.directory(0).unwrap();
+        let cost = LookupCost::default();
+        let write = lookup_actions(dir, 3, 9, &cost);
+        let read = lookup_actions_kind(dir, 3, 9, &cost, AccessKind::Read);
+        assert_eq!(read[0], Action::CtStart(dir.object_id(), AccessKind::Read));
+        // Everything after the ct_start is identical to the write form.
+        assert_eq!(read[1..], write[1..]);
     }
 
     #[test]

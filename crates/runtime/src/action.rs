@@ -8,7 +8,7 @@
 //! object (Figure 3 of the paper).
 
 use crate::types::{Cycles, LockId, ObjectId};
-use o2_sim::Addr;
+use o2_sim::{AccessKind, Addr};
 
 /// A single step of a thread's execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,9 +33,11 @@ pub enum Action {
     Lock(LockId),
     /// Release a registered spin lock.
     Unlock(LockId),
-    /// `ct_start(object)`: begin an operation on an object. The scheduling
-    /// policy may migrate the thread to the core caching the object.
-    CtStart(ObjectId),
+    /// `ct_start(object)`: begin an operation on an object, declaring
+    /// whether the operation reads or mutates it. The scheduling policy may
+    /// migrate the thread to the core caching the object; the access kind
+    /// lets it serve reads from replicas and invalidate them on writes.
+    CtStart(ObjectId, AccessKind),
     /// `ct_end()`: finish the current operation. If the thread migrated,
     /// it becomes ready to run on its home core again.
     CtEnd,
@@ -58,7 +60,7 @@ impl Action {
 
     /// Whether this action is a scheduling annotation.
     pub fn is_annotation(&self) -> bool {
-        matches!(self, Action::CtStart(_) | Action::CtEnd)
+        matches!(self, Action::CtStart(..) | Action::CtEnd)
     }
 }
 
@@ -122,7 +124,8 @@ mod tests {
         assert!(Action::Read { addr: 0, len: 64 }.is_memory());
         assert!(Action::Write { addr: 0, len: 64 }.is_memory());
         assert!(!Action::Compute(10).is_memory());
-        assert!(Action::CtStart(1).is_annotation());
+        assert!(Action::CtStart(1, AccessKind::Write).is_annotation());
+        assert!(Action::CtStart(1, AccessKind::Read).is_annotation());
         assert!(Action::CtEnd.is_annotation());
         assert!(!Action::Yield.is_annotation());
     }

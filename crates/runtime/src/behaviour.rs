@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 
 use crate::action::Action;
 use crate::types::{CoreId, Cycles, ThreadId};
+use o2_sim::AccessKind;
 
 /// Read-only context handed to a behaviour when it is asked for its next
 /// action.
@@ -42,6 +43,12 @@ pub trait OpGenerator {
     /// Produces the actions of the next operation, or an empty vector to
     /// terminate the thread.
     fn next_op(&mut self, ctx: &BehaviourCtx) -> Vec<Action>;
+}
+
+impl OpGenerator for Box<dyn OpGenerator> {
+    fn next_op(&mut self, ctx: &BehaviourCtx) -> Vec<Action> {
+        (**self).next_op(ctx)
+    }
 }
 
 /// Adapts an [`OpGenerator`] into a [`ThreadBehaviour`] by buffering one
@@ -169,9 +176,26 @@ impl OpBuilder {
     }
 
     /// Starts an operation annotated with `ct_start(object)`.
+    ///
+    /// The operation is declared as a *write* (the conservative default):
+    /// a policy serving reads from replicas will route it to the primary
+    /// copy and invalidate replicas. Use [`OpBuilder::annotated_read`] or
+    /// [`OpBuilder::annotated_kind`] for read-only operations.
     pub fn annotated(object: u64) -> Self {
+        Self::annotated_kind(object, AccessKind::Write)
+    }
+
+    /// Starts a read-only operation annotated with `ct_start(object)`:
+    /// the policy may serve it from any replica of the object.
+    pub fn annotated_read(object: u64) -> Self {
+        Self::annotated_kind(object, AccessKind::Read)
+    }
+
+    /// Starts an operation annotated with `ct_start(object)` and an
+    /// explicit access kind.
+    pub fn annotated_kind(object: u64, kind: AccessKind) -> Self {
         Self {
-            actions: vec![Action::CtStart(object)],
+            actions: vec![Action::CtStart(object, kind)],
         }
     }
 
@@ -213,7 +237,7 @@ impl OpBuilder {
 
     /// Finishes the operation with `ct_end()` (only if it was annotated).
     pub fn finish(mut self) -> Vec<Action> {
-        if matches!(self.actions.first(), Some(Action::CtStart(_))) {
+        if matches!(self.actions.first(), Some(Action::CtStart(..))) {
             self.actions.push(Action::CtEnd);
         }
         self.actions
@@ -281,9 +305,18 @@ mod tests {
             .compute(10)
             .unlock(1)
             .finish();
-        assert_eq!(op.first(), Some(&Action::CtStart(0x42)));
+        assert_eq!(op.first(), Some(&Action::CtStart(0x42, AccessKind::Write)));
         assert_eq!(op.last(), Some(&Action::CtEnd));
         assert_eq!(op.len(), 6);
+    }
+
+    #[test]
+    fn op_builder_read_annotation_carries_the_kind() {
+        let op = OpBuilder::annotated_read(0x42).read(0x42, 128).finish();
+        assert_eq!(op.first(), Some(&Action::CtStart(0x42, AccessKind::Read)));
+        assert_eq!(op.last(), Some(&Action::CtEnd));
+        let op = OpBuilder::annotated_kind(0x43, AccessKind::Write).finish();
+        assert_eq!(op.first(), Some(&Action::CtStart(0x43, AccessKind::Write)));
     }
 
     #[test]
@@ -325,7 +358,7 @@ mod tests {
         }
         let ct_starts = actions
             .iter()
-            .filter(|a| matches!(a, Action::CtStart(_)))
+            .filter(|a| matches!(a, Action::CtStart(..)))
             .count();
         let ct_ends = actions
             .iter()

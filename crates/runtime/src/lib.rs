@@ -62,8 +62,8 @@ pub use object_index::ObjectIndex;
 // depending on o2-collections directly.
 pub use o2_collections::IdSpaceExhausted;
 pub use policy::{
-    EpochView, NullPolicy, OpContext, Placement, PolicyCommand, PolicyFaultStats, SchedPolicy,
-    StaticPolicy,
+    EpochView, NullPolicy, OpContext, Placement, PolicyCommand, PolicyFaultStats,
+    PolicyReplicationStats, SchedPolicy, StaticPolicy,
 };
 pub use stats::{RunWindow, SchedStats};
 pub use sync::{LockError, LockInfo, LockRegistry};
@@ -72,7 +72,8 @@ pub use types::{CoreId, Cycles, DenseObjectId, LockId, ObjectId, ThreadId};
 pub use wheel::{TimingWheel, WheelStats, WHEEL_HORIZON};
 
 // Re-exported for convenience: policies receive these simulator types in
-// their callbacks, and fault plans are installed through the engine.
+// their callbacks, fault plans are installed through the engine, and
+// `ct_start` annotations carry the simulator's access kind.
 pub use o2_sim::{
-    CounterDelta, FaultEvent, FaultKind, FaultPlan, LinkDegradation, Machine, MemStats,
+    AccessKind, CounterDelta, FaultEvent, FaultKind, FaultPlan, LinkDegradation, Machine, MemStats,
 };

@@ -11,7 +11,7 @@
 
 use crate::action::ObjectDescriptor;
 use crate::types::{CoreId, Cycles, DenseObjectId, ObjectId, ThreadId};
-use o2_sim::{CounterDelta, Machine};
+use o2_sim::{AccessKind, CounterDelta, Machine};
 
 /// Where an operation should execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +41,11 @@ pub struct OpContext<'a> {
     pub object_key: ObjectId,
     /// The acting core's local clock.
     pub now: Cycles,
+    /// Whether the operation reads the object or mutates it, as declared
+    /// by `ct_start`. Policies serving reads from replicas use this to
+    /// route reads to any copy and writes to the primary (invalidating
+    /// replicas first).
+    pub kind: AccessKind,
     /// Read-only view of the machine (configuration, counters, occupancy).
     pub machine: &'a Machine,
 }
@@ -66,6 +71,18 @@ pub enum PolicyCommand {
         /// Its new home core.
         core: CoreId,
     },
+    /// Stream an object's bytes into a core's caches the next time that
+    /// core has nothing runnable (replica serving's idle-time data
+    /// movement). The engine queues the fill per core and drains it only
+    /// in idle gaps, so a saturated run never pays for it; pending fills
+    /// are dropped at the next epoch boundary in favour of the fresh
+    /// plan.
+    FillReplica {
+        /// The object whose copy should be warmed.
+        object: DenseObjectId,
+        /// The core holding (or about to hold) the copy.
+        core: CoreId,
+    },
 }
 
 /// Fault-handling counters a policy exposes through
@@ -84,6 +101,22 @@ pub struct PolicyFaultStats {
     /// Migrations the policy skipped because the target core was degraded
     /// (the "migration flips to data movement" path).
     pub degraded_avoids: u64,
+}
+
+/// Replica-serving counters a policy exposes through
+/// [`SchedPolicy::replication_stats`]. The defaults are all zero; policies
+/// without a replication plane report zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyReplicationStats {
+    /// Replica copies created by epoch-driven promotion.
+    pub promotions: u64,
+    /// Replica copies dropped because the object's read fraction fell.
+    pub demotions: u64,
+    /// First-write invalidation events (a write to a replicated object
+    /// dropping every non-primary copy at `ct_start`).
+    pub invalidations: u64,
+    /// Read operations served from a non-primary replica copy.
+    pub replica_served: u64,
 }
 
 /// A scheduling policy.
@@ -145,6 +178,11 @@ pub trait SchedPolicy {
     /// Fault-handling counters, for diagnostics and experiments.
     fn fault_stats(&self) -> PolicyFaultStats {
         PolicyFaultStats::default()
+    }
+
+    /// Replica-serving counters, for diagnostics and experiments.
+    fn replication_stats(&self) -> PolicyReplicationStats {
+        PolicyReplicationStats::default()
     }
 }
 
@@ -220,6 +258,7 @@ mod tests {
             object: 0,
             object_key: object,
             now: 0,
+            kind: AccessKind::Write,
             machine,
         }
     }

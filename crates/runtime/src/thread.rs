@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 use crate::action::Action;
 use crate::behaviour::ThreadBehaviour;
 use crate::types::{CoreId, Cycles, DenseObjectId, ThreadId};
-use o2_sim::CoreCounters;
+use o2_sim::{AccessKind, CoreCounters};
 
 /// Lifecycle state of a thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +32,9 @@ pub struct OpRecord {
     /// The object named at `ct_start`, as a dense id from the engine's
     /// object index.
     pub object: DenseObjectId,
+    /// The access kind declared at `ct_start` (read or write), replayed to
+    /// the policy at `ct_end`.
+    pub kind: AccessKind,
     /// The core the operation is executing on.
     pub exec_core: CoreId,
     /// Local clock of the executing core when the operation began.

@@ -151,7 +151,7 @@ mod tests {
         );
         for _ in 0..10 {
             let op = gen.next_op(&ctx());
-            assert!(matches!(op.first(), Some(Action::CtStart(_))));
+            assert!(matches!(op.first(), Some(Action::CtStart(..))));
             assert!(matches!(op.last(), Some(Action::CtEnd)));
             assert!(op.iter().any(|a| matches!(a, Action::Lock(_))));
             assert!(op.iter().any(|a| matches!(a, Action::Unlock(_))));
@@ -203,7 +203,7 @@ mod tests {
         for _ in 0..50 {
             let op = gen.next_op(&ctx());
             match op[0] {
-                Action::CtStart(obj) => assert!(valid_ids.contains(&obj)),
+                Action::CtStart(obj, _) => assert!(valid_ids.contains(&obj)),
                 ref other => panic!("expected ct_start, got {other:?}"),
             }
         }

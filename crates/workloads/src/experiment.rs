@@ -9,7 +9,7 @@
 use std::rc::Rc;
 
 use o2_fs::{directory_descriptor, Volume};
-use o2_runtime::{Engine, OpBehaviour, RunWindow, SchedPolicy};
+use o2_runtime::{Engine, OpBehaviour, OpGenerator, RunWindow, SchedPolicy};
 use o2_sim::{InterconnectStats, Machine, Region};
 
 use crate::behaviour::{DirectoryLookupGen, DirectorySet};
@@ -64,6 +64,35 @@ impl Experiment {
     /// Panics if the specification is invalid or the volume cannot be
     /// built (e.g. an absurd directory count).
     pub fn build(spec: WorkloadSpec, policy: Box<dyn SchedPolicy>) -> Self {
+        Self::build_with(spec, policy, |spec, dirs, t| {
+            let chooser = DirChooser::new(spec.n_dirs, spec.popularity);
+            Box::new(DirectoryLookupGen::new(
+                Rc::clone(dirs),
+                chooser,
+                spec.lookup_cost,
+                spec.write_fraction,
+                spec.seed.wrapping_add(u64::from(t) * 0x9E37_79B9),
+                None,
+            ))
+        })
+    }
+
+    /// Builds an experiment with a caller-supplied per-thread generator.
+    ///
+    /// The factory receives the spec, the shared directory set and the
+    /// thread index, and returns that thread's operation generator. This is
+    /// how alternative workloads (e.g. the web-server path-resolution mix)
+    /// reuse the standard volume construction, object registration and
+    /// fault-plan plumbing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification is invalid or the volume cannot be
+    /// built.
+    pub fn build_with<F>(spec: WorkloadSpec, policy: Box<dyn SchedPolicy>, mut make_gen: F) -> Self
+    where
+        F: FnMut(&WorkloadSpec, &Rc<DirectorySet>, u32) -> Box<dyn OpGenerator>,
+    {
         spec.validate().expect("invalid workload specification");
         let mut machine = Machine::new(spec.machine.clone());
 
@@ -91,15 +120,7 @@ impl Experiment {
         // file from a randomly chosen directory".
         for t in 0..spec.total_threads() {
             let core = t % spec.machine.total_cores();
-            let chooser = DirChooser::new(spec.n_dirs, spec.popularity);
-            let gen = DirectoryLookupGen::new(
-                Rc::clone(&dirs),
-                chooser,
-                spec.lookup_cost,
-                spec.write_fraction,
-                spec.seed.wrapping_add(u64::from(t) * 0x9E37_79B9),
-                None,
-            );
+            let gen = make_gen(&spec, &dirs, t);
             engine.spawn(core, Box::new(OpBehaviour::new(gen)));
         }
 

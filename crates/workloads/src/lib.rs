@@ -55,4 +55,4 @@ pub use fsmeta::{FsMetaExperiment, FsMetaGen, FsMetaSpec, FsMetaStats};
 pub use open_loop::OpenLoopGen;
 pub use scale::{run_scale, ScaleExperiment, ScaleGen, ScaleMeasurement, ScaleSpec, ZipfSampler};
 pub use spec::{Popularity, WorkloadSpec};
-pub use webserver::PathLookupGen;
+pub use webserver::{PathLookupGen, WebMix};

@@ -183,7 +183,7 @@ mod tests {
         // are queued, so ops start immediately with no sleep.
         let op = g.next_op(&ctx_at(1_000_000));
         assert!(
-            matches!(op.first(), Some(Action::CtStart(_))),
+            matches!(op.first(), Some(Action::CtStart(..))),
             "backlogged arrival must not sleep"
         );
     }

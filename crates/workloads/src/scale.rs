@@ -29,8 +29,8 @@ use rand::{Rng, SeedableRng};
 
 use o2_metrics::{LatencyRecorder, LatencySummary};
 use o2_runtime::{
-    BehaviourCtx, Engine, ObjectDescriptor, OpBehaviour, OpBuilder, OpGenerator, RunWindow,
-    RuntimeConfig, SchedPolicy,
+    AccessKind, BehaviourCtx, Engine, ObjectDescriptor, OpBehaviour, OpBuilder, OpGenerator,
+    PolicyReplicationStats, RunWindow, RuntimeConfig, SchedPolicy,
 };
 use o2_sim::{Machine, MachineConfig};
 
@@ -62,6 +62,12 @@ pub struct ScaleSpec {
     /// Mean inter-arrival gap in cycles per thread: `Some` switches the
     /// workload to open-loop arrivals, `None` keeps the closed loop.
     pub open_loop_mean_gap: Option<f64>,
+    /// Fraction of operations that declare themselves reads at `ct_start`
+    /// (the rest are writes). A read-heavy mix is what lets a
+    /// replica-serving policy spread the Zipf head across cores; writes
+    /// force invalidation. `0.0` reproduces the old all-write stream
+    /// without consuming any extra randomness.
+    pub read_fraction: f64,
 }
 
 impl ScaleSpec {
@@ -80,6 +86,7 @@ impl ScaleSpec {
             warmup_ops: 1_000,
             measure_cycles: 1_000_000,
             open_loop_mean_gap: None,
+            read_fraction: 0.0,
         }
     }
 
@@ -103,6 +110,9 @@ impl ScaleSpec {
             if !(gap.is_finite() && gap > 0.0) {
                 return Err("open_loop_mean_gap must be positive".into());
             }
+        }
+        if !(0.0..=1.0).contains(&self.read_fraction) {
+            return Err("read_fraction must be in [0, 1]".into());
         }
         Ok(())
     }
@@ -230,9 +240,27 @@ pub struct ScaleGen {
     map: Rc<ObjectMap>,
     zipf: ZipfSampler,
     compute_cycles: u64,
+    read_fraction: f64,
     rng: StdRng,
     ops_generated: u64,
     max_ops: Option<u64>,
+}
+
+impl ScaleGen {
+    /// Draws this operation's declared access kind. The degenerate mixes
+    /// (all-write, all-read) consume no randomness, so a `read_fraction`
+    /// of exactly 0 leaves the legacy operation stream byte-identical.
+    fn draw_kind(&mut self) -> AccessKind {
+        if self.read_fraction <= 0.0 {
+            return AccessKind::Write;
+        }
+        // Short-circuit: an all-read mix also consumes no randomness.
+        if self.read_fraction >= 1.0 || self.rng.gen::<f64>() < self.read_fraction {
+            AccessKind::Read
+        } else {
+            AccessKind::Write
+        }
+    }
 }
 
 impl OpGenerator for ScaleGen {
@@ -245,7 +273,8 @@ impl OpGenerator for ScaleGen {
         self.ops_generated += 1;
         let index = self.zipf.sample(&mut self.rng);
         let addr = self.map.addr_of(index);
-        OpBuilder::annotated(addr)
+        let kind = self.draw_kind();
+        OpBuilder::annotated_kind(addr, kind)
             .read(addr, self.map.object_size)
             .compute(self.compute_cycles)
             .finish()
@@ -274,6 +303,9 @@ pub struct ScaleMeasurement {
     pub sleeps: u64,
     /// Operation migrations performed over the whole run.
     pub migrations: u64,
+    /// Replica promotion/demotion/invalidation/serving counters from the
+    /// policy (all zero for policies without replica serving).
+    pub replication: PolicyReplicationStats,
 }
 
 impl ScaleMeasurement {
@@ -349,6 +381,7 @@ impl ScaleExperiment {
                 map: Rc::clone(&map),
                 zipf: ZipfSampler::new(spec.n_objects, spec.zipf_exponent),
                 compute_cycles: spec.compute_cycles,
+                read_fraction: spec.read_fraction,
                 rng: StdRng::seed_from_u64(spec.seed.wrapping_add(u64::from(t) * 0x9E37_79B9)),
                 ops_generated: 0,
                 max_ops: None,
@@ -405,6 +438,7 @@ impl ScaleExperiment {
             footprint_bytes: self.engine.footprint_bytes(),
             sleeps: stats.sleeps,
             migrations,
+            replication: self.engine.policy().replication_stats(),
         }
     }
 }

@@ -15,10 +15,34 @@ use std::rc::Rc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use o2_fs::{lookup_actions, LookupCost};
-use o2_runtime::{Action, BehaviourCtx, OpGenerator};
+use o2_fs::{lookup_actions_kind, LookupCost};
+use o2_runtime::{AccessKind, Action, BehaviourCtx, OpGenerator};
 
 use crate::behaviour::DirectorySet;
+
+/// Traffic mix for a web server serving static files and CGI requests.
+///
+/// Static requests are pure path resolutions: every component lookup is
+/// read-kind, so a replica-serving policy may run them against any copy of
+/// the hot root directories. A CGI request resolves the same way but its
+/// final component is a write-kind lookup (the script updates state under
+/// the leaf directory's lock) followed by the script's compute burst.
+#[derive(Debug, Clone, Copy)]
+pub struct WebMix {
+    /// Fraction of requests that are CGI (`0.0..=1.0`).
+    pub cgi_fraction: f64,
+    /// Extra compute cycles charged for running the CGI script.
+    pub cgi_compute_cycles: u64,
+}
+
+impl Default for WebMix {
+    fn default() -> Self {
+        Self {
+            cgi_fraction: 0.05,
+            cgi_compute_cycles: 4_000,
+        }
+    }
+}
 
 /// Per-thread generator of path-resolution "requests".
 pub struct PathLookupGen {
@@ -28,11 +52,15 @@ pub struct PathLookupGen {
     top_level_dirs: u32,
     /// Components per path (lookups per request).
     components: u32,
+    /// Static/CGI traffic mix; `None` reproduces the original write-kind
+    /// stream without consuming any extra randomness.
+    mix: Option<WebMix>,
     rng: StdRng,
     max_requests: Option<u64>,
     requests: u64,
-    /// Remaining lookups of the request in progress: (dir index, entry).
-    pending: Vec<(u32, u32)>,
+    /// Remaining lookups of the request in progress:
+    /// (dir index, entry, this lookup is a CGI request's final component).
+    pending: Vec<(u32, u32, bool)>,
 }
 
 impl PathLookupGen {
@@ -51,11 +79,30 @@ impl PathLookupGen {
             components: components.max(1),
             dirs,
             cost,
+            mix: None,
             rng: StdRng::seed_from_u64(seed),
             max_requests,
             requests: 0,
             pending: Vec::new(),
         }
+    }
+
+    /// Like [`PathLookupGen::new`], but with a static/CGI traffic mix:
+    /// static components are read-kind lookups, and a CGI request's final
+    /// component is a write-kind lookup plus the script's compute burst.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_mixed(
+        dirs: Rc<DirectorySet>,
+        cost: LookupCost,
+        top_level_dirs: u32,
+        components: u32,
+        mix: WebMix,
+        seed: u64,
+        max_requests: Option<u64>,
+    ) -> Self {
+        let mut gen = Self::new(dirs, cost, top_level_dirs, components, seed, max_requests);
+        gen.mix = Some(mix);
+        gen
     }
 
     /// Requests fully generated so far.
@@ -77,7 +124,14 @@ impl PathLookupGen {
             };
             let entries = self.dirs.dirs[dir as usize].entry_count;
             let entry = self.rng.gen_range(0..entries);
-            self.pending.push((dir, entry));
+            self.pending.push((dir, entry, false));
+        }
+        if let Some(mix) = self.mix {
+            if self.rng.gen::<f64>() < mix.cgi_fraction {
+                if let Some(last) = self.pending.last_mut() {
+                    last.2 = true;
+                }
+            }
         }
         // The walk resolves components root-first.
         self.pending.reverse();
@@ -98,10 +152,24 @@ impl OpGenerator for PathLookupGen {
             }
             self.plan_request();
         }
-        let (dir_idx, entry) = self.pending.pop().expect("planned request");
+        let (dir_idx, entry, cgi_final) = self.pending.pop().expect("planned request");
         let dir = &self.dirs.dirs[dir_idx as usize];
         let lock = self.dirs.locks[dir_idx as usize];
-        lookup_actions(dir, lock, entry, &self.cost)
+        match self.mix {
+            None => lookup_actions_kind(dir, lock, entry, &self.cost, AccessKind::Write),
+            Some(mix) if cgi_final => {
+                // The script mutates state under the leaf directory, then
+                // runs: a write-kind lookup with the compute burst folded
+                // into the same annotated operation.
+                let mut actions =
+                    lookup_actions_kind(dir, lock, entry, &self.cost, AccessKind::Write);
+                let end = actions.pop().expect("lookup ends with ct_end");
+                actions.push(Action::Compute(mix.cgi_compute_cycles));
+                actions.push(end);
+                actions
+            }
+            Some(_) => lookup_actions_kind(dir, lock, entry, &self.cost, AccessKind::Read),
+        }
     }
 }
 
@@ -141,7 +209,7 @@ mod tests {
             if op.is_empty() {
                 break;
             }
-            assert!(matches!(op.first(), Some(Action::CtStart(_))));
+            assert!(matches!(op.first(), Some(Action::CtStart(..))));
             ops += 1;
         }
         assert_eq!(ops, 15);
@@ -161,7 +229,7 @@ mod tests {
             if op.is_empty() {
                 break;
             }
-            if let Action::CtStart(obj) = op[0] {
+            if let Action::CtStart(obj, _) = op[0] {
                 if first {
                     assert!(root_ids.contains(&obj), "first component must be a root");
                     roots_seen += 1;
@@ -172,6 +240,83 @@ mod tests {
             first = !first;
         }
         assert_eq!(roots_seen, 20);
+    }
+
+    #[test]
+    fn mixed_traffic_marks_only_cgi_finals_as_writes() {
+        let set = dirs(16);
+        let mix = WebMix {
+            cgi_fraction: 0.5,
+            cgi_compute_cycles: 7_777,
+        };
+        let mut gen = PathLookupGen::new_mixed(set, LookupCost::default(), 4, 3, mix, 11, Some(40));
+        let mut component = 0;
+        let mut writes = 0;
+        let mut reads = 0;
+        loop {
+            let op = gen.next_op(&ctx());
+            if op.is_empty() {
+                break;
+            }
+            let Some(Action::CtStart(_, kind)) = op.first().copied() else {
+                panic!("op must start with ct_start");
+            };
+            let is_final = component == 2;
+            component = (component + 1) % 3;
+            if kind == AccessKind::Write {
+                assert!(is_final, "only a request's final component may write");
+                writes += 1;
+                // The CGI burst rides inside the same annotated op.
+                assert!(op.contains(&Action::Compute(7_777)));
+            } else {
+                reads += 1;
+                assert!(!op.contains(&Action::Compute(7_777)));
+            }
+        }
+        assert!(writes > 0, "a 0.5 cgi fraction must produce some CGI");
+        assert!(reads > 0);
+        // 40 requests * 3 components; writes only on finals.
+        assert_eq!(writes + reads, 120);
+        assert!(writes <= 40);
+    }
+
+    #[test]
+    fn legacy_constructor_is_all_writes_and_stream_stable() {
+        let set = dirs(8);
+        let mut gen = PathLookupGen::new(set.clone(), LookupCost::default(), 2, 2, 5, Some(10));
+        let mut legacy = Vec::new();
+        loop {
+            let op = gen.next_op(&ctx());
+            if op.is_empty() {
+                break;
+            }
+            let Some(Action::CtStart(obj, kind)) = op.first().copied() else {
+                panic!("op must start with ct_start");
+            };
+            assert_eq!(kind, AccessKind::Write);
+            legacy.push(obj);
+        }
+        // A cgi_fraction of 0 draws the same dirs/entries; only the one
+        // extra mix draw per request differs, which must not perturb the
+        // component sequence within each request's plan.
+        let mix = WebMix {
+            cgi_fraction: 0.0,
+            cgi_compute_cycles: 1,
+        };
+        let mut mixed =
+            PathLookupGen::new_mixed(set, LookupCost::default(), 2, 2, mix, 5, Some(10));
+        let mut objs = Vec::new();
+        loop {
+            let op = mixed.next_op(&ctx());
+            if op.is_empty() {
+                break;
+            }
+            if let Some(Action::CtStart(obj, _)) = op.first().copied() {
+                objs.push(obj);
+            }
+        }
+        // First request is planned from the same rng prefix.
+        assert_eq!(objs[..2], legacy[..2]);
     }
 
     #[test]

@@ -21,7 +21,8 @@
 use o2_core::{CoreTimeConfig, O2Policy, O2Stats};
 use o2_metrics::LatencySummary;
 use o2_runtime::{
-    DenseObjectId, EpochView, ObjectDescriptor, ObjectIndex, OpContext, Placement, SchedPolicy,
+    AccessKind, DenseObjectId, EpochView, ObjectDescriptor, ObjectIndex, OpContext, Placement,
+    SchedPolicy,
 };
 use o2_sim::{CounterDelta, Machine, MachineConfig};
 
@@ -110,6 +111,7 @@ impl Storm {
             home_core: core,
             object: dense,
             object_key: key,
+            kind: AccessKind::Write,
             now: 0,
             machine: &self.machine,
         };
@@ -137,6 +139,7 @@ impl Storm {
             home_core: core,
             object: dense,
             object_key: key,
+            kind: AccessKind::Write,
             now: 0,
             machine: &self.machine,
         };
