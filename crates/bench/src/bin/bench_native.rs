@@ -1,0 +1,210 @@
+//! Real-threads runtime benchmark → `BENCH_native.json`.
+//!
+//! Runs the native directory-lookup and fsmeta workloads on real
+//! `std::thread` workers (pinned where the kernel allows) under every
+//! policy of the experiment matrix, and records per series:
+//!
+//! * wall-clock throughput (kops/s) and the measured window in seconds;
+//! * per-worker occupancy (ops executed on each worker);
+//! * migration counts, ring-full local fallbacks and the deepest any
+//!   SPSC migration ring ever got;
+//! * epoch/rehome/replica-fill activity and spin-lock contention;
+//! * the order-independent state digest — identical across policies by
+//!   construction, because every policy executes the same deterministic
+//!   op stream and all updates commute.
+//!
+//! Methodology: wall-clock numbers on a shared CI host are noisy and the
+//! host may have fewer CPUs than workers (pinning then degrades to a
+//! hint); CI asserts only the count-based invariants (ops completed,
+//! occupancy sums, digest equality) and never a timing.
+//!
+//! Usage: `bench_native [--workers N] [--measure-ops N] [--warmup-ops N]`
+
+use o2_experiments::PolicyKind;
+use o2_native::{
+    available_cpus, run_native, NativeConfig, NativeFsMeta, NativeFsMetaSpec, NativeLookup,
+    NativeLookupSpec, NativeMeasurement, NativeWorkload,
+};
+
+const SEED: u64 = 0x000a_ce0f_ba5e;
+
+/// Stable JSON key for a policy kind (`SchedPolicy::name()` collides for
+/// the two CoreTime variants).
+fn key(kind: PolicyKind) -> &'static str {
+    match kind {
+        PolicyKind::CoreTime => "coretime",
+        PolicyKind::CoreTimeExtensions => "coretime-extensions",
+        PolicyKind::ThreadScheduler => "thread-scheduler",
+        PolicyKind::ThreadClustering => "thread-clustering",
+        PolicyKind::StaticPartition => "static-partition",
+    }
+}
+
+fn series_json(kind: PolicyKind, m: &NativeMeasurement) -> String {
+    let per_worker = m
+        .per_worker_ops
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        concat!(
+            "        {{\n",
+            "          \"policy\": \"{}\",\n",
+            "          \"policy_name\": \"{}\",\n",
+            "          \"kops_per_sec\": {:.1},\n",
+            "          \"wall_seconds\": {:.6},\n",
+            "          \"ops\": {},\n",
+            "          \"reads\": {},\n",
+            "          \"writes\": {},\n",
+            "          \"migrations\": {},\n",
+            "          \"ring_full_local\": {},\n",
+            "          \"ring_depth_hwm\": {},\n",
+            "          \"per_worker_ops\": [{}],\n",
+            "          \"epochs\": {},\n",
+            "          \"rehomes_recorded\": {},\n",
+            "          \"fills_completed\": {},\n",
+            "          \"lock_contention\": {},\n",
+            "          \"state_digest\": \"{:#018x}\"\n",
+            "        }}"
+        ),
+        key(kind),
+        m.policy,
+        m.kops_per_sec(),
+        m.wall_seconds,
+        m.ops,
+        m.reads,
+        m.writes,
+        m.migrations,
+        m.ring_full_local,
+        m.ring_depth_hwm,
+        per_worker,
+        m.epochs,
+        m.rehomes_recorded,
+        m.fills_completed,
+        m.lock_contention,
+        m.state_digest,
+    )
+}
+
+fn run_workload(
+    name: &str,
+    build: &dyn Fn() -> Box<dyn NativeWorkload>,
+    cfg: &NativeConfig,
+) -> String {
+    let mut series = Vec::new();
+    let mut digests = Vec::new();
+    for kind in PolicyKind::ALL {
+        // A fresh workload per policy: every policy executes the same op
+        // stream against the same initial state.
+        let wl = build();
+        let policy = kind.build(&cfg.machine);
+        let m = run_native(wl.as_ref(), policy, cfg);
+        println!(
+            "native {name:<7} {:<22} {:>8.1} kops/s, {:>6} migrations, {:>4} ring-full, hwm {:>3}, occupancy {:?}",
+            kind.label(),
+            m.kops_per_sec(),
+            m.migrations,
+            m.ring_full_local,
+            m.ring_depth_hwm,
+            m.per_worker_ops,
+        );
+        digests.push(m.state_digest);
+        series.push(series_json(kind, &m));
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "state digests diverged across policies for {name}: {digests:#x?}"
+    );
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"workload\": \"{}\",\n",
+            "      \"series\": [\n{}\n      ]\n",
+            "    }}"
+        ),
+        name,
+        series.join(",\n")
+    )
+}
+
+fn arg(flag: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let workers = arg("--workers").unwrap_or(2).clamp(1, 64) as usize;
+    let mut cfg = NativeConfig::new(workers);
+    cfg.measure_ops = arg("--measure-ops").unwrap_or(40_000);
+    cfg.warmup_ops = arg("--warmup-ops").unwrap_or(2_000);
+
+    let lookup_spec = {
+        let mut s = NativeLookupSpec::paper_default(64, SEED);
+        s.entries_per_dir = 128;
+        s.zipf_exponent = Some(1.1);
+        s.write_fraction = 0.05;
+        s
+    };
+    let fsmeta_spec = NativeFsMetaSpec {
+        n_dirs: 32,
+        slots_per_dir: 64,
+        seed: SEED,
+    };
+
+    // Pinning status is per-run; report what one probe run saw.
+    let probe = {
+        let wl = NativeLookup::build(&lookup_spec);
+        let mut probe_cfg = cfg.clone();
+        probe_cfg.warmup_ops = 10;
+        probe_cfg.measure_ops = 50;
+        run_native(
+            &wl,
+            PolicyKind::ThreadScheduler.build(&cfg.machine),
+            &probe_cfg,
+        )
+    };
+
+    let workloads = [
+        run_workload(
+            "lookup",
+            &|| Box::new(NativeLookup::build(&lookup_spec)) as Box<dyn NativeWorkload>,
+            &cfg,
+        ),
+        run_workload(
+            "fsmeta",
+            &|| Box::new(NativeFsMeta::build(&fsmeta_spec)) as Box<dyn NativeWorkload>,
+            &cfg,
+        ),
+    ];
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"native_runtime\",\n",
+            "  \"workers\": {},\n",
+            "  \"pinned_workers\": {},\n",
+            "  \"available_cpus\": {},\n",
+            "  \"warmup_ops\": {},\n",
+            "  \"measure_ops\": {},\n",
+            "  \"model\": \"std::thread workers pinned to cores, SPSC migration rings, ",
+            "unchanged SchedPolicy implementations placing ops on real threads\",\n",
+            "  \"methodology\": \"deterministic op stream, commutative state updates; ",
+            "CI asserts op counts and digest equality only — wall-clock numbers are ",
+            "reported, never asserted\",\n",
+            "  \"workloads\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        workers,
+        probe.pinned_workers,
+        available_cpus(),
+        cfg.warmup_ops,
+        cfg.measure_ops,
+        workloads.join(",\n")
+    );
+    std::fs::write("BENCH_native.json", &json).expect("write BENCH_native.json");
+    println!("wrote BENCH_native.json");
+}

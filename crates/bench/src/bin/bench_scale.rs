@@ -112,8 +112,10 @@ impl Outcome {
 
 fn run_point(n: u64) -> Outcome {
     let spec = scale_spec_for(n, SEED);
-    let policy = PolicyKind::CoreTime
-        .build_with_coretime_config(&spec.machine, serving_coretime_config(PolicyKind::CoreTime));
+    let policy = PolicyKind::CoreTime.build_with_coretime_config(
+        &spec.machine,
+        serving_coretime_config(PolicyKind::CoreTime, n),
+    );
     let rss_before = rss_bytes().unwrap_or(0);
 
     let build_start = Instant::now();
@@ -157,7 +159,8 @@ const DUEL_MEAN_GAP: f64 = 8_000.0;
 fn run_duel(kind: PolicyKind) -> String {
     let mut spec = scale_spec_for(DUEL_OBJECTS, SEED);
     spec.open_loop_mean_gap = Some(DUEL_MEAN_GAP);
-    let policy = kind.build_with_coretime_config(&spec.machine, serving_coretime_config(kind));
+    let policy =
+        kind.build_with_coretime_config(&spec.machine, serving_coretime_config(kind, DUEL_OBJECTS));
     let mut exp = ScaleExperiment::build(spec, policy);
     let m = exp.run();
     let arr = m

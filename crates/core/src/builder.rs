@@ -26,18 +26,21 @@ pub struct CoreTime;
 
 impl CoreTime {
     /// A CoreTime policy with the default configuration.
-    pub fn policy(machine: &MachineConfig) -> Box<dyn SchedPolicy> {
+    pub fn policy(machine: &MachineConfig) -> Box<dyn SchedPolicy + Send> {
         Box::new(O2Policy::with_defaults(machine))
     }
 
     /// A CoreTime policy with an explicit configuration.
-    pub fn policy_with(machine: &MachineConfig, cfg: CoreTimeConfig) -> Box<dyn SchedPolicy> {
+    pub fn policy_with(
+        machine: &MachineConfig,
+        cfg: CoreTimeConfig,
+    ) -> Box<dyn SchedPolicy + Send> {
         Box::new(O2Policy::new(machine, cfg))
     }
 
     /// A CoreTime policy with every Section-6.2 extension enabled
     /// (replication, clustering, frequency-based replacement).
-    pub fn policy_with_extensions(machine: &MachineConfig) -> Box<dyn SchedPolicy> {
+    pub fn policy_with_extensions(machine: &MachineConfig) -> Box<dyn SchedPolicy + Send> {
         Box::new(O2Policy::new(
             machine,
             CoreTimeConfig::with_all_extensions(),

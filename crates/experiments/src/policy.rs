@@ -43,7 +43,7 @@ impl PolicyKind {
     }
 
     /// Builds the policy for a given machine.
-    pub fn build(&self, machine: &MachineConfig) -> Box<dyn SchedPolicy> {
+    pub fn build(&self, machine: &MachineConfig) -> Box<dyn SchedPolicy + Send> {
         match self {
             PolicyKind::CoreTime => CoreTime::policy(machine),
             PolicyKind::CoreTimeExtensions => CoreTime::policy_with_extensions(machine),
@@ -61,7 +61,7 @@ impl PolicyKind {
         &self,
         machine: &MachineConfig,
         cfg: CoreTimeConfig,
-    ) -> Box<dyn SchedPolicy> {
+    ) -> Box<dyn SchedPolicy + Send> {
         match self {
             PolicyKind::CoreTime | PolicyKind::CoreTimeExtensions => {
                 CoreTime::policy_with(machine, cfg)

@@ -1,0 +1,218 @@
+//! A bounded single-producer / single-consumer ring.
+//!
+//! The migration fabric is a W×W mesh of these rings: `rings[src][dst]`
+//! is written only by worker `src` and read only by worker `dst`, so each
+//! ring sees exactly one producer and one consumer — the classic Lamport
+//! queue, two atomics and no locks. Capacity is a power of two; a full
+//! ring rejects the push (the runtime then executes the op locally and
+//! counts the fallback instead of blocking the submitter).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A bounded SPSC ring. `push` may only ever be called from one thread at
+/// a time, `pop` from one (possibly different) thread — the mesh layout
+/// enforces this by construction.
+pub struct SpscRing<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the consumer will read. Written only by the consumer.
+    head: AtomicUsize,
+    /// Next slot the producer will write. Written only by the producer.
+    tail: AtomicUsize,
+    /// High-water mark of the occupied depth, maintained by the producer.
+    depth_hwm: AtomicUsize,
+}
+
+// SAFETY: the ring hands each `T` from exactly one thread to exactly one
+// other thread, with the tail/head Release/Acquire pair ordering the slot
+// write before the matching read. `T: Send` is exactly the bound that
+// hand-off needs.
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+unsafe impl<T: Send> Send for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// Creates a ring with the given capacity (rounded up to a power of
+    /// two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let buf = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            buf,
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            depth_hwm: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Occupied depth at this instant (racy between threads, exact when
+    /// called by the producer or consumer themselves).
+    pub fn len(&self) -> usize {
+        self.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.load(Ordering::Acquire))
+    }
+
+    /// Whether the ring is empty at this instant.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deepest the ring has ever been, as observed by the producer.
+    pub fn depth_high_water(&self) -> usize {
+        self.depth_hwm.load(Ordering::Relaxed)
+    }
+
+    /// Producer side: appends `value`, or returns it if the ring is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        let depth = tail.wrapping_sub(head);
+        if depth == self.buf.len() {
+            return Err(value);
+        }
+        // SAFETY: slots in [head, tail) are owned by the consumer; slot
+        // `tail` is outside that range and this thread is the only
+        // producer, so no one else touches it until the Release store
+        // below publishes it.
+        unsafe {
+            (*self.buf[tail & self.mask].get()).write(value);
+        }
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        if depth + 1 > self.depth_hwm.load(Ordering::Relaxed) {
+            self.depth_hwm.store(depth + 1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Consumer side: removes the oldest value, if any.
+    pub fn pop(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: the Acquire load of `tail` ordered the producer's slot
+        // write before this read, and this thread is the only consumer,
+        // so the slot holds an initialized value no one else will read.
+        let value = unsafe { (*self.buf[head & self.mask].get()).assume_init_read() };
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        // Drop whatever is still queued; `&mut self` means no concurrent
+        // producer or consumer exists any more.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        assert_eq!(SpscRing::<u32>::with_capacity(0).capacity(), 2);
+        assert_eq!(SpscRing::<u32>::with_capacity(5).capacity(), 8);
+        assert_eq!(SpscRing::<u32>::with_capacity(64).capacity(), 64);
+    }
+
+    #[test]
+    fn fifo_order_and_wraparound() {
+        let r = SpscRing::with_capacity(4);
+        for round in 0..10u32 {
+            for i in 0..4 {
+                r.push(round * 10 + i).unwrap();
+            }
+            assert_eq!(r.push(99), Err(99), "full ring must reject");
+            for i in 0..4 {
+                assert_eq!(r.pop(), Some(round * 10 + i));
+            }
+            assert_eq!(r.pop(), None);
+        }
+        assert_eq!(r.depth_high_water(), 4);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let r = SpscRing::with_capacity(8);
+        let mut next_in = 0u64;
+        let mut next_out = 0u64;
+        for step in 0..1000 {
+            if step % 3 != 2 {
+                if r.push(next_in).is_ok() {
+                    next_in += 1;
+                }
+            } else if let Some(v) = r.pop() {
+                assert_eq!(v, next_out);
+                next_out += 1;
+            }
+        }
+        while let Some(v) = r.pop() {
+            assert_eq!(v, next_out);
+            next_out += 1;
+        }
+        assert_eq!(next_in, next_out);
+    }
+
+    #[test]
+    fn values_cross_threads_intact() {
+        let r = std::sync::Arc::new(SpscRing::with_capacity(16));
+        let total = 20_000u64;
+        let producer = {
+            let r = std::sync::Arc::clone(&r);
+            std::thread::spawn(move || {
+                let mut v = 0u64;
+                while v < total {
+                    if r.push(v).is_ok() {
+                        v += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let sum = AtomicU64::new(0);
+        let mut seen = 0u64;
+        let mut expect = 0u64;
+        while seen < total {
+            if let Some(v) = r.pop() {
+                assert_eq!(v, expect, "SPSC order violated");
+                expect += 1;
+                sum.fetch_add(v, Ordering::Relaxed);
+                seen += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(sum.into_inner(), total * (total - 1) / 2);
+    }
+
+    #[test]
+    fn drop_releases_queued_values() {
+        let counted = std::sync::Arc::new(());
+        {
+            let r = SpscRing::with_capacity(8);
+            for _ in 0..5 {
+                r.push(std::sync::Arc::clone(&counted)).unwrap();
+            }
+            assert_eq!(std::sync::Arc::strong_count(&counted), 6);
+        }
+        assert_eq!(std::sync::Arc::strong_count(&counted), 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! The crate's determinism contract, end to end and under a real
+//! policy: op counts and the final shard state are identical across
+//! reruns and across worker counts, even though timings, migrations and
+//! occupancy are free to vary.
+
+use o2_core::CoreTime;
+use o2_native::{
+    run_native, NativeConfig, NativeFsMeta, NativeFsMetaSpec, NativeLookup, NativeLookupSpec,
+    NativeMeasurement, NativeWorkload,
+};
+
+fn cfg(workers: usize) -> NativeConfig {
+    let mut cfg = NativeConfig::new(workers);
+    cfg.warmup_ops = 200;
+    cfg.measure_ops = 4_000;
+    cfg.epoch_every_ops = 1_000;
+    cfg
+}
+
+fn run_lookup(workers: usize) -> NativeMeasurement {
+    let mut spec = NativeLookupSpec::small(42);
+    spec.n_dirs = 16;
+    spec.zipf_exponent = Some(1.1);
+    let wl = NativeLookup::build(&spec);
+    let machine = o2_native::native_machine_config(workers);
+    run_native(&wl, CoreTime::policy(&machine), &cfg(workers))
+}
+
+/// The invariants every run must satisfy regardless of schedule.
+fn assert_counts(m: &NativeMeasurement, workers: usize) {
+    assert_eq!(m.ops, 4_000);
+    assert_eq!(m.reads + m.writes, m.ops);
+    assert_eq!(m.per_worker_ops.len(), workers);
+    assert_eq!(m.per_worker_ops.iter().sum::<u64>(), m.ops);
+    assert_eq!(m.epochs, 4);
+}
+
+#[test]
+fn lookup_under_coretime_is_deterministic_across_reruns() {
+    let a = run_lookup(2);
+    let b = run_lookup(2);
+    assert_counts(&a, 2);
+    assert_counts(&b, 2);
+    assert_eq!(a.state_digest, b.state_digest);
+    assert_eq!(a.reads, b.reads);
+    assert_eq!(a.writes, b.writes);
+}
+
+#[test]
+fn lookup_under_coretime_is_deterministic_across_worker_counts() {
+    let digests: Vec<u64> = [1, 2, 3]
+        .into_iter()
+        .map(|w| {
+            let m = run_lookup(w);
+            assert_counts(&m, w);
+            m.state_digest
+        })
+        .collect();
+    assert_eq!(digests[0], digests[1]);
+    assert_eq!(digests[0], digests[2]);
+}
+
+#[test]
+fn fsmeta_under_coretime_is_deterministic_across_worker_counts() {
+    let run = |workers: usize| {
+        let wl = NativeFsMeta::build(&NativeFsMetaSpec::small(7));
+        let machine = o2_native::native_machine_config(workers);
+        let m = run_native(&wl, CoreTime::policy(&machine), &cfg(workers));
+        assert_counts(&m, workers);
+        m.state_digest
+    };
+    let two = run(2);
+    assert_eq!(two, run(1));
+    assert_eq!(two, run(3));
+}
+
+#[test]
+fn executed_state_matches_a_sequential_replay() {
+    // The final digest of a threaded run equals replaying the same op
+    // stream sequentially — the strongest form of "the schedule does not
+    // change the work".
+    let mut spec = NativeLookupSpec::small(42);
+    spec.n_dirs = 16;
+    spec.zipf_exponent = Some(1.1);
+
+    let threaded = run_lookup(3);
+
+    let wl = NativeLookup::build(&spec);
+    for index in 0..(200 + 4_000) {
+        let op = wl.op(index);
+        wl.execute(&op);
+    }
+    assert_eq!(threaded.state_digest, wl.state_digest());
+}

@@ -9,6 +9,9 @@
 //! * [`runtime`] — the cooperative runtime with operation migration,
 //! * [`coretime`] — the O2 scheduler itself (the paper's contribution),
 //! * [`fs`] — the EFSL-style in-memory FAT file system,
+//! * [`native`] — the real-threads runtime: pinned `std::thread` workers
+//!   exchanging op migrations over SPSC rings, driven by the same
+//!   policies the simulator uses,
 //! * [`workloads`] — the benchmark workloads and experiment assembly,
 //! * [`baseline`] — comparator schedulers,
 //! * [`metrics`] — statistics and report rendering,
@@ -27,6 +30,7 @@ pub use o2_core as coretime;
 pub use o2_experiments as experiments;
 pub use o2_fs as fs;
 pub use o2_metrics as metrics;
+pub use o2_native as native;
 pub use o2_runtime as runtime;
 pub use o2_sim as sim;
 pub use o2_workloads as workloads;
